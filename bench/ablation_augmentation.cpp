@@ -1,0 +1,58 @@
+// Ablation: resource augmentation — the (b,a)-matching generalization
+// (§1.1).  The online algorithm keeps degree b while the offline
+// comparator (SO-BMA) is restricted to degree a <= b.  The theory predicts
+// the online/offline gap shrinks like log(b/(b-a+1)) as the augmentation
+// b-a grows.
+#include <cstdio>
+
+#include "rdcn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdcn;
+  const std::size_t num_requests =
+      argc > 1 ? static_cast<std::size_t>(std::stoull(argv[1])) : 200'000;
+  const std::size_t racks = 50;
+  const net::Topology topo = net::make_fat_tree(racks);
+
+  Xoshiro256 rng(9);
+  const trace::Trace t =
+      trace::generate_microsoft_like(racks, num_requests, {}, rng);
+
+  const std::size_t b = 12;
+  std::printf(
+      "== ablation: (b,a)-matching — online degree b=%zu vs offline degree "
+      "a ==\n",
+      b);
+  std::printf("%4s %16s %16s %12s\n", "a", "RBMA_routing", "SOBMA_routing",
+              "ratio");
+  for (std::size_t a : {12ul, 9ul, 6ul, 3ul, 1ul}) {
+    core::Instance inst;
+    inst.distances = &topo.distances;
+    inst.b = b;
+    inst.a = a;
+    inst.alpha = 60;
+
+    double rbma = 0.0;
+    const int seeds = 3;
+    for (int s = 1; s <= seeds; ++s) {
+      core::RBma alg(inst, {.seed = static_cast<std::uint64_t>(s)});
+      for (const core::Request& r : t) alg.serve(r);
+      rbma += static_cast<double>(alg.costs().routing_cost);
+    }
+    rbma /= seeds;
+
+    core::SoBma so(inst, t);
+    for (const core::Request& r : t) so.serve(r);
+    const auto so_routing = static_cast<double>(so.costs().routing_cost);
+
+    std::printf("%4zu %16.0f %16.0f %12.3f\n", a, rbma, so_routing,
+                rbma / so_routing);
+  }
+  std::printf(
+      "shape: as the offline adversary's degree a shrinks (more "
+      "augmentation for\n"
+      "       the online player), the online/offline ratio falls toward "
+      "(and below) 1\n"
+      "       — the log(b/(b-a+1)) effect of Corollary 3.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Figure 2 of the paper: Facebook web-service cluster.
+// 100 racks, b in {6, 12, 18}, 4.0e5 requests (panels a, b, c).
+//
+// Trace substitution: synthetic web-service model (mild skew, short
+// bursts, wide working set) — see DESIGN.md §3.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdcn;
+  const std::size_t num_requests =
+      argc > 1 ? static_cast<std::size_t>(std::stoull(argv[1])) : 400'000;
+
+  bench::FigureSetup setup;
+  setup.figure = "Fig2";
+  setup.num_racks = 100;
+  setup.cache_sizes = {6, 12, 18};
+  setup.alpha = 60;
+
+  Xoshiro256 rng(42);
+  const trace::Trace t = trace::generate_facebook_like(
+      trace::FacebookCluster::kWebService, setup.num_racks, num_requests,
+      rng);
+  bench::run_figure(setup, t);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Google-benchmark micro measurements: per-request latency of each
+// algorithm as a function of the cache size b.  This is the mechanism
+// behind Figs 1b-4b: BMA's eviction scan is Θ(b) while R-BMA's paging step
+// is O(1) amortized, so BMA's per-request cost grows with b.
+#include <benchmark/benchmark.h>
+
+#include "rdcn.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+const net::Topology& shared_topology() {
+  static const net::Topology topo = net::make_fat_tree(100);
+  return topo;
+}
+
+const trace::Trace& shared_trace() {
+  static const trace::Trace t = [] {
+    Xoshiro256 rng(77);
+    return trace::generate_facebook_like(trace::FacebookCluster::kDatabase,
+                                         100, 200'000, rng);
+  }();
+  return t;
+}
+
+core::Instance instance_with_b(std::size_t b) {
+  core::Instance inst;
+  inst.distances = &shared_topology().distances;
+  inst.b = b;
+  inst.alpha = 60;
+  return inst;
+}
+
+void BM_RBmaServe(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  core::RBma alg(instance_with_b(b), {.seed = 5});
+  const trace::Trace& t = shared_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    alg.serve(t[i]);
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RBmaServe)->Arg(3)->Arg(6)->Arg(12)->Arg(18)->Arg(36);
+
+void BM_BmaServe(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  core::Bma alg(instance_with_b(b));
+  const trace::Trace& t = shared_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    alg.serve(t[i]);
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BmaServe)->Arg(3)->Arg(6)->Arg(12)->Arg(18)->Arg(36);
+
+void BM_GreedyServe(benchmark::State& state) {
+  core::GreedyOnline alg(instance_with_b(12));
+  const trace::Trace& t = shared_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    alg.serve(t[i]);
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GreedyServe);
+
+void BM_ObliviousServe(benchmark::State& state) {
+  core::Oblivious alg(instance_with_b(12));
+  const trace::Trace& t = shared_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    alg.serve(t[i]);
+    if (++i == t.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObliviousServe);
+
+void BM_SoBmaConstruction(benchmark::State& state) {
+  const trace::Trace& t = shared_trace();
+  const core::Instance inst = instance_with_b(12);
+  for (auto _ : state) {
+    core::SoBma so(inst, t);
+    benchmark::DoNotOptimize(so.matching().size());
+  }
+}
+BENCHMARK(BM_SoBmaConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Example: a "day in the life" of a reconfigurable datacenter serving
+// Facebook-style traffic — the paper's motivating scenario.
+//
+// Generates all three cluster workloads (database, web service, hadoop),
+// runs the full algorithm portfolio on each, and reports routing-cost
+// reductions, matched-traffic fractions, and reconfiguration budgets.
+//
+//   $ ./examples/facebook_day_in_the_life [requests_per_cluster]
+#include <cstdio>
+#include <iostream>
+
+#include "rdcn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdcn;
+  const std::size_t num_requests =
+      argc > 1 ? static_cast<std::size_t>(std::stoull(argv[1])) : 120'000;
+  const std::size_t racks = 100;
+  const std::size_t b = 12;
+
+  const net::Topology topo = net::make_fat_tree(racks);
+  std::cout << "fat-tree with " << racks << " racks, b=" << b
+            << " optical circuit switches per rack, alpha=60\n\n";
+
+  for (const trace::FacebookCluster cluster :
+       {trace::FacebookCluster::kDatabase, trace::FacebookCluster::kWebService,
+        trace::FacebookCluster::kHadoop}) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(cluster) + 100);
+    const trace::Trace t =
+        trace::generate_facebook_like(cluster, racks, num_requests, rng);
+    const trace::TraceStats stats = trace::compute_stats(t);
+
+    std::printf("---- %s cluster ----\n",
+                trace::facebook_cluster_name(cluster));
+    std::printf(
+        "    %zu requests | %zu distinct pairs | gini %.2f | locality %.2f\n",
+        t.size(), stats.distinct_pairs, stats.gini, stats.locality_window64);
+
+    sim::ExperimentConfig config;
+    config.distances = &topo.distances;
+    config.alpha = 60;
+    config.checkpoints = 1;
+    config.trials = 5;
+    const std::vector<sim::ExperimentSpec> specs = {
+        {.algorithm = "r_bma", .b = b},
+        {.algorithm = "bma", .b = b},
+        {.algorithm = "so_bma", .b = b},
+        {.algorithm = "greedy", .b = b},
+        {.algorithm = "rotor", .b = b},
+        {.algorithm = "oblivious", .b = b},
+    };
+    const auto results = sim::run_experiment(config, t, specs);
+    const double oblivious =
+        static_cast<double>(results.back().final().routing_cost);
+    for (const sim::RunResult& r : results) {
+      const auto& f = r.final();
+      std::printf(
+          "    %-18s routing %12llu (%5.1f%% saved)  matched %4.1f%%  "
+          "reconfig ops %llu\n",
+          r.algorithm.c_str(),
+          static_cast<unsigned long long>(f.routing_cost),
+          100.0 * (1.0 - static_cast<double>(f.routing_cost) / oblivious),
+          100.0 * static_cast<double>(f.direct_serves) /
+              static_cast<double>(f.requests),
+          static_cast<unsigned long long>(f.edge_adds + f.edge_removals));
+    }
+    std::printf("\n");
+  }
+  std::cout << "Reading: the database cluster (skewed + bursty) rewards\n"
+               "demand-aware reconfiguration the most; the web cluster's\n"
+               "flat traffic the least — exactly the paper's Fig 1-3 story.\n";
+  return 0;
+}

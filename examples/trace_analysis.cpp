@@ -1,0 +1,92 @@
+// Example: workload characterization — reproduce the trace-structure
+// analysis (§3.1 / Avin et al.) that explains WHEN demand-aware
+// reconfiguration pays off.
+//
+// Prints the spatial-skew / temporal-locality fingerprint of each built-in
+// workload family next to the routing-cost reduction R-BMA achieves on it,
+// making the structure -> benefit correlation visible.
+//
+//   $ ./examples/trace_analysis
+#include <cstdio>
+
+#include "rdcn.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+double rbma_reduction(const net::Topology& topo, const trace::Trace& t,
+                      std::size_t b) {
+  core::Instance inst;
+  inst.distances = &topo.distances;
+  inst.b = b;
+  inst.alpha = 60;
+
+  core::Oblivious obl(inst);
+  for (const core::Request& r : t) obl.serve(r);
+
+  double rbma = 0.0;
+  const int seeds = 3;
+  for (int s = 1; s <= seeds; ++s) {
+    core::RBma alg(inst, {.seed = static_cast<std::uint64_t>(s)});
+    for (const core::Request& r : t) alg.serve(r);
+    rbma += static_cast<double>(alg.costs().routing_cost);
+  }
+  rbma /= seeds;
+  return 100.0 *
+         (1.0 - rbma / static_cast<double>(obl.costs().routing_cost));
+}
+
+}  // namespace
+
+int main() {
+  using namespace rdcn;
+  const std::size_t racks = 64, requests = 60'000, b = 8;
+  const net::Topology topo = net::make_fat_tree(racks);
+
+  struct Row {
+    const char* name;
+    trace::Trace t;
+  };
+  Xoshiro256 rng(1);
+  std::vector<Row> rows;
+  rows.push_back({"uniform (no structure)",
+                  trace::generate_uniform(racks, requests, rng)});
+  rows.push_back({"zipf s=1.2 (spatial only)",
+                  trace::generate_zipf_pairs(racks, requests, 1.2, rng)});
+  rows.push_back(
+      {"microsoft-like (spatial only)",
+       trace::generate_microsoft_like(racks, requests, {}, rng)});
+  rows.push_back({"fb-web (mild both)",
+                  trace::generate_facebook_like(
+                      trace::FacebookCluster::kWebService, racks, requests,
+                      rng)});
+  rows.push_back({"fb-hadoop (bursty)",
+                  trace::generate_facebook_like(
+                      trace::FacebookCluster::kHadoop, racks, requests,
+                      rng)});
+  rows.push_back({"fb-database (skewed+bursty)",
+                  trace::generate_facebook_like(
+                      trace::FacebookCluster::kDatabase, racks, requests,
+                      rng)});
+  rows.push_back({"permutation (ideal)",
+                  trace::generate_permutation(racks, requests, rng)});
+
+  std::printf("%-30s %8s %9s %10s %10s %12s\n", "workload", "gini",
+              "entropy", "locality", "repeat_p", "R-BMA saves");
+  for (const Row& row : rows) {
+    const trace::TraceStats s = trace::compute_stats(row.t);
+    const double saved = rbma_reduction(topo, row.t, b);
+    std::printf("%-30s %8.2f %9.2f %10.2f %10.3f %11.1f%%\n", row.name,
+                s.gini, s.normalized_pair_entropy, s.locality_window64,
+                s.repeat_probability, saved);
+  }
+  std::printf(
+      "\nReading: reduction tracks structure — spatial skew (gini up, "
+      "entropy down)\n"
+      "and temporal locality (locality/repeat_p up) both push savings "
+      "toward the\n"
+      "permutation ideal; the structureless uniform trace yields almost "
+      "nothing.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// rdcn: assertion macros.
+//
+// RDCN_ASSERT is active in all build types (the library is a research
+// artifact: silent invariant violations would invalidate measurements).
+// RDCN_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rdcn::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "rdcn assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rdcn::detail
+
+#define RDCN_ASSERT(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::rdcn::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);    \
+  } while (0)
+
+#define RDCN_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) ::rdcn::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define RDCN_DCHECK(expr) ((void)0)
+#else
+#define RDCN_DCHECK(expr) RDCN_ASSERT(expr)
+#endif

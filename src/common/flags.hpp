@@ -1,0 +1,123 @@
+// rdcn: minimal command-line flag parsing for the example/bench binaries.
+//
+// Accepts "--key=value" and "--key value" forms plus bare positionals.
+// Typed getters with defaults; unknown-flag detection for user-facing
+// tools.  Deliberately tiny — no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rdcn {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        arg = arg.substr(2);
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+          kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          kv_.emplace_back(arg, argv[++i]);
+        } else {
+          kv_.emplace_back(arg, "true");  // boolean flag
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const {
+    return find(key) != nullptr;
+  }
+
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const std::string* v = find(key);
+    return v != nullptr ? *v : fallback;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const std::string* v = find(key);
+    return v != nullptr ? std::stoll(*v) : fallback;
+  }
+
+  std::uint64_t get_uint(const std::string& key,
+                         std::uint64_t fallback) const {
+    const std::string* v = find(key);
+    return v != nullptr ? std::stoull(*v) : fallback;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const std::string* v = find(key);
+    return v != nullptr ? std::stod(*v) : fallback;
+  }
+
+  bool get_bool(const std::string& key, bool fallback) const {
+    const std::string* v = find(key);
+    if (v == nullptr) return fallback;
+    return *v == "true" || *v == "1" || *v == "yes";
+  }
+
+  /// Comma-separated list value ("--b=6,12,18").
+  std::vector<std::string> get_list(const std::string& key) const {
+    std::vector<std::string> out;
+    const std::string* v = find(key);
+    if (v == nullptr) return out;
+    std::size_t start = 0;
+    while (start <= v->size()) {
+      const std::size_t comma = v->find(',', start);
+      if (comma == std::string::npos) {
+        out.push_back(v->substr(start));
+        break;
+      }
+      out.push_back(v->substr(start, comma - start));
+      start = comma + 1;
+    }
+    return out;
+  }
+
+  std::vector<std::uint64_t> get_uint_list(const std::string& key) const {
+    std::vector<std::uint64_t> out;
+    for (const std::string& s : get_list(key)) out.push_back(std::stoull(s));
+    return out;
+  }
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Returns the flags that are not in `known` (for error reporting).
+  std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : kv_) {
+      bool found = false;
+      for (const std::string& ok : known) found |= (k == ok);
+      if (!found) out.push_back(k);
+    }
+    return out;
+  }
+
+ private:
+  const std::string* find(const std::string& key) const {
+    // Last occurrence wins (allows overriding earlier flags).
+    const std::string* result = nullptr;
+    for (const auto& [k, v] : kv_)
+      if (k == key) result = &v;
+    return result;
+  }
+
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rdcn

@@ -1,0 +1,210 @@
+// rdcn: open-addressing hash containers keyed by 64-bit integers.
+//
+// The matching algorithms keep one counter per *node pair* that has ever
+// been requested; on multi-hundred-thousand-request traces this map is the
+// hottest data structure in the simulator.  std::unordered_map's
+// node-per-entry layout is cache-hostile, so we provide a flat,
+// linear-probing map with tombstone-free backward-shift deletion.
+//
+// Keys are required to be != kEmptyKey (0xFFFF'FFFF'FFFF'FFFF), which edge
+// ids never are (see core/types.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rdcn {
+
+namespace detail {
+
+/// Finalizer from MurmurHash3: good avalanche for integer keys.
+inline std::uint64_t mix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace detail
+
+/// Flat hash map from std::uint64_t to V with linear probing.
+///
+/// Deletion uses backward shifting, so lookup never scans tombstones and
+/// the table stays dense under churn (matching edges are added and removed
+/// constantly).  Iteration order is unspecified.
+template <typename V>
+class FlatMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatMap() { rehash(16); }
+  explicit FlatMap(std::size_t capacity_hint) {
+    std::size_t cap = 16;
+    while (cap < capacity_hint * 2) cap <<= 1;
+    rehash(cap);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    for (auto& s : slots_) s.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& operator[](std::uint64_t key) {
+    RDCN_DCHECK(key != kEmptyKey);
+    maybe_grow();
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (slots_[i].key == key) return slots_[i].value;
+      if (slots_[i].key == kEmptyKey) {
+        slots_[i].key = key;
+        slots_[i].value = V{};
+        ++size_;
+        return slots_[i].value;
+      }
+      i = next(i);
+    }
+  }
+
+  /// Returns nullptr if absent.
+  V* find(std::uint64_t key) noexcept {
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      if (slots_[i].key == kEmptyKey) return nullptr;
+      i = next(i);
+    }
+  }
+  const V* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Removes `key` if present; returns whether it was present.
+  bool erase(std::uint64_t key) noexcept {
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (slots_[i].key == kEmptyKey) return false;
+      if (slots_[i].key == key) break;
+      i = next(i);
+    }
+    // Backward-shift deletion: pull subsequent displaced entries back.
+    std::size_t hole = i;
+    std::size_t j = next(i);
+    while (slots_[j].key != kEmptyKey) {
+      const std::size_t home = probe_start(slots_[j].key);
+      // Can slot j legally move into the hole? Yes iff the hole lies in the
+      // cyclic probe interval [home, j).
+      const bool movable = (hole <= j)
+                               ? (home <= hole || home > j)
+                               : (home <= hole && home > j);
+      if (movable) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+      j = next(j);
+    }
+    slots_[hole].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  /// Calls f(key, value&) for every entry.
+  template <typename F>
+  void for_each(F&& f) {
+    for (auto& s : slots_)
+      if (s.key != kEmptyKey) f(s.key, s.value);
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& s : slots_)
+      if (s.key != kEmptyKey) f(s.key, s.value);
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = capacity();
+    while (cap < n * 2) cap <<= 1;
+    if (cap != capacity()) rehash(cap);
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  std::size_t probe_start(std::uint64_t key) const noexcept {
+    return detail::mix64(key) & mask_;
+  }
+  std::size_t next(std::size_t i) const noexcept { return (i + 1) & mask_; }
+
+  void maybe_grow() {
+    if (size_ * 4 >= capacity() * 3) rehash(capacity() * 2);  // 0.75 load
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (auto& s : old) {
+      if (s.key == kEmptyKey) continue;
+      std::size_t i = probe_start(s.key);
+      while (slots_[i].key != kEmptyKey) i = next(i);
+      slots_[i] = std::move(s);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Flat hash set of std::uint64_t built on FlatMap.
+class FlatSet {
+ public:
+  FlatSet() = default;
+  explicit FlatSet(std::size_t capacity_hint) : map_(capacity_hint) {}
+
+  std::size_t size() const noexcept { return map_.size(); }
+  bool empty() const noexcept { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+  /// Returns true if newly inserted.
+  bool insert(std::uint64_t key) {
+    if (map_.contains(key)) return false;
+    map_[key] = Unit{};
+    return true;
+  }
+  bool contains(std::uint64_t key) const noexcept {
+    return map_.contains(key);
+  }
+  bool erase(std::uint64_t key) noexcept { return map_.erase(key); }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    map_.for_each([&](std::uint64_t k, const Unit&) { f(k); });
+  }
+
+ private:
+  struct Unit {};
+  FlatMap<Unit> map_;
+};
+
+}  // namespace rdcn

@@ -1,0 +1,91 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdcn {
+
+std::uint64_t sample_geometric(Xoshiro256& rng, double p) {
+  RDCN_ASSERT_MSG(p > 0.0 && p <= 1.0, "geometric probability out of range");
+  if (p >= 1.0) return 0;
+  // Inverse CDF: floor(log(U) / log(1-p)).
+  const double u = 1.0 - rng.next_double();  // u in (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double sample_exponential(Xoshiro256& rng, double lambda) {
+  RDCN_ASSERT_MSG(lambda > 0.0, "exponential rate must be positive");
+  const double u = 1.0 - rng.next_double();  // u in (0, 1]
+  return -std::log(u) / lambda;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : cdf_(n), exponent_(exponent) {
+  RDCN_ASSERT_MSG(n > 0, "Zipf sampler over empty support");
+  RDCN_ASSERT_MSG(exponent >= 0.0, "Zipf exponent must be non-negative");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = acc;
+  }
+  // Normalize so cdf_.back() == 1 exactly.
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::operator()(Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  RDCN_ASSERT(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights)
+    : prob_(weights.size()), alias_(weights.size(), 0) {
+  const std::size_t n = weights.size();
+  RDCN_ASSERT_MSG(n > 0, "alias sampler over empty support");
+  double total = 0.0;
+  for (double w : weights) {
+    RDCN_ASSERT_MSG(w >= 0.0, "alias sampler weight must be non-negative");
+    total += w;
+  }
+  RDCN_ASSERT_MSG(total > 0.0, "alias sampler weights must not all be zero");
+
+  // Vose's algorithm: split scaled probabilities into "small" (< 1) and
+  // "large" (>= 1) worklists and pair them up.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasSampler::operator()(Xoshiro256& rng) const {
+  const std::size_t i = rng.next_below(prob_.size());
+  return rng.next_double() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace rdcn

@@ -1,0 +1,166 @@
+// rdcn: small-size-optimized vector.
+//
+// Per-node adjacency lists in a b-matching hold at most b entries (b is 3-18
+// in all experiments), so inline storage avoids one heap allocation per node
+// and keeps neighbor scans on a single cache line.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+namespace rdcn {
+
+/// Vector with N elements of inline storage; spills to the heap beyond N.
+/// Only supports trivially copyable T (all uses are ids/PODs), which keeps
+/// relocation a memcpy.
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector requires trivially copyable T");
+
+ public:
+  SmallVector() noexcept = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { copy_from(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      release();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept {
+    RDCN_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    RDCN_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T& back() noexcept {
+    RDCN_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow();
+    data_[size_++] = v;
+  }
+
+  void pop_back() noexcept {
+    RDCN_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  /// Removes the element at index i by swapping in the last element.
+  /// O(1); does not preserve order (callers never rely on order).
+  void swap_erase(std::size_t i) noexcept {
+    RDCN_DCHECK(i < size_);
+    data_[i] = data_[size_ - 1];
+    --size_;
+  }
+
+  /// Removes the first occurrence of v (if any); returns whether removed.
+  bool erase_value(const T& v) noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (data_[i] == v) {
+        swap_erase(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool contains(const T& v) const noexcept {
+    return std::find(begin(), end(), v) != end();
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* heap = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_data()) ::operator delete(data_);
+    data_ = heap;
+    capacity_ = new_cap;
+  }
+
+  void release() noexcept {
+    if (data_ != inline_data()) ::operator delete(data_);
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void copy_from(const SmallVector& other) {
+    if (other.size_ > N) {
+      data_ = static_cast<T*>(::operator new(other.capacity_ * sizeof(T)));
+      capacity_ = other.capacity_;
+    }
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void move_from(SmallVector&& other) noexcept {
+    if (other.data_ == other.inline_data()) {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  T* inline_data() noexcept {
+    return std::launder(reinterpret_cast<T*>(storage_));
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rdcn

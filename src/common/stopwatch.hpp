@@ -1,0 +1,51 @@
+// rdcn: wall-clock stopwatch for the execution-time measurements that back
+// the paper's Figs 1b-4b (algorithm processing time, excluding trace
+// generation and I/O).
+#pragma once
+
+#include <chrono>
+
+namespace rdcn {
+
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() noexcept {
+    start_ = Clock::now();
+    accumulated_ = {};
+    running_ = true;
+  }
+
+  /// Pauses accumulation (used to exclude bookkeeping between checkpoints).
+  void pause() noexcept {
+    if (running_) {
+      accumulated_ += Clock::now() - start_;
+      running_ = false;
+    }
+  }
+
+  void resume() noexcept {
+    if (!running_) {
+      start_ = Clock::now();
+      running_ = true;
+    }
+  }
+
+  double seconds() const noexcept {
+    auto total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+  Clock::duration accumulated_{};
+  bool running_ = true;
+};
+
+}  // namespace rdcn

@@ -1,0 +1,31 @@
+#include "core/adversarial.hpp"
+
+namespace rdcn::core {
+
+trace::Trace generate_chasing_trace(OnlineBMatcher& victim,
+                                    std::size_t num_racks, std::size_t k,
+                                    std::size_t steps) {
+  RDCN_ASSERT_MSG(num_racks >= k + 2, "need k+1 hub pairs plus the hub");
+  RDCN_ASSERT_MSG(k >= victim.instance().b,
+                  "chase needs more pairs than the degree bound");
+  trace::Trace t(num_racks, "bma_chase");
+  t.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    // Lowest-indexed hub pair not currently matched by the victim.  At
+    // most b of the k+1 >= b+1 pairs can be matched, so one always exists.
+    Rack target = 0;
+    for (Rack v = 1; v <= static_cast<Rack>(k + 1); ++v) {
+      if (!victim.matching().has(0, v)) {
+        target = v;
+        break;
+      }
+    }
+    RDCN_ASSERT_MSG(target != 0, "no unmatched hub pair found");
+    const Request r = Request::make(0, target);
+    t.push_back(r);
+    victim.serve(r);
+  }
+  return t;
+}
+
+}  // namespace rdcn::core

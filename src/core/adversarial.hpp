@@ -1,0 +1,29 @@
+// rdcn: adversarial request generation against the matching layer.
+//
+// The Θ(b) deterministic lower bound (PERFORMANCE'20, mirrored in §2.4 of
+// the paper) uses an ADAPTIVE adversary: on a star with b+1 hub pairs it
+// always requests a pair that the deterministic algorithm currently does
+// NOT have matched, so the algorithm pays the fixed-network rate forever
+// (or churns α endlessly), while OPT parks a fixed b-subset and pays ~1.
+//
+// Against a deterministic algorithm the adaptive adversary can be
+// "compiled out": we simulate a copy of the algorithm online and emit the
+// chasing sequence.  Any other algorithm can then be run on that same
+// fixed sequence — a randomized algorithm hedges and escapes the chase,
+// which is exactly the separation R-BMA proves.
+#pragma once
+
+#include "core/online_matcher.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::core {
+
+/// Generates `steps` requests over the hub pairs {0,1}, ..., {0,k+1},
+/// always choosing (the lowest-indexed) pair currently unmatched in
+/// `victim`'s matching.  `victim` is driven along; pass a fresh instance
+/// of the deterministic algorithm under attack.
+trace::Trace generate_chasing_trace(OnlineBMatcher& victim,
+                                    std::size_t num_racks, std::size_t k,
+                                    std::size_t steps);
+
+}  // namespace rdcn::core

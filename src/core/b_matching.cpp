@@ -1,0 +1,32 @@
+#include "core/b_matching.hpp"
+
+namespace rdcn::core {
+
+bool BMatching::check_invariants() const {
+  std::size_t adjacency_entries = 0;
+  for (Rack u = 0; u < num_racks(); ++u) {
+    const auto& adj = adjacency_[u];
+    if (adj.size() > degree_cap_) return false;
+    adjacency_entries += adj.size();
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      const Rack v = adj[i];
+      if (v == u || v >= num_racks()) return false;
+      if (!edges_.contains(pair_key(u, v))) return false;
+      if (!adjacency_[v].contains(u)) return false;
+      // No duplicate neighbor entries.
+      for (std::size_t j = i + 1; j < adj.size(); ++j)
+        if (adj[j] == v) return false;
+    }
+  }
+  if (adjacency_entries != 2 * edges_.size()) return false;
+
+  bool edges_ok = true;
+  edges_.for_each([&](std::uint64_t key) {
+    const Rack lo = pair_lo(key), hi = pair_hi(key);
+    if (lo >= hi || hi >= num_racks() || !adjacency_[lo].contains(hi))
+      edges_ok = false;
+  });
+  return edges_ok;
+}
+
+}  // namespace rdcn::core

@@ -1,0 +1,72 @@
+#include "core/bma.hpp"
+
+#include <algorithm>
+
+namespace rdcn::core {
+
+void Bma::on_request(const Request& r, bool matched) {
+  ++clock_;
+  const std::uint64_t key = pair_key(r);
+
+  // Request-path bookkeeping (see header): every request can change the
+  // usage ranking at its endpoints (a direct serve bumps the served edge;
+  // a fixed-network serve moves a pair toward admission), so the reference
+  // implementation refreshes the eviction candidate at both endpoints on
+  // every request.  This is the Θ(b) component of BMA's per-request cost.
+  eviction_candidate_[r.u] = scan_eviction_candidate(r.u);
+  eviction_candidate_[r.v] = scan_eviction_candidate(r.v);
+
+  if (matched) {
+    ++usage_[key];
+    return;
+  }
+
+  std::uint64_t& c = charge_[key];
+  c += dist(r.u, r.v);
+  if (c < alpha()) return;
+
+  // The pair has paid α in fixed-network routing: admit it.
+  charge_.erase(key);
+  if (matching_view().full(r.u)) evict_at(r.u);
+  if (matching_view().full(r.v)) evict_at(r.v);
+  add_matching_edge(r.u, r.v);
+  usage_[key] = 0;
+  admitted_at_[key] = clock_;
+}
+
+std::uint64_t Bma::scan_eviction_candidate(Rack w) const {
+  const auto& neighbors = matching_view().neighbors(w);
+  std::uint64_t victim_key = kNoCandidate;
+  std::uint64_t best_usage = ~std::uint64_t{0};
+  std::uint64_t best_age = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    const std::uint64_t key = pair_key(w, neighbors[i]);
+    const std::uint64_t* use = usage_.find(key);
+    const std::uint64_t* adm = admitted_at_.find(key);
+    RDCN_DCHECK(use != nullptr && adm != nullptr);
+    // Least direct-serve usage; oldest admission breaks ties.
+    if (*use < best_usage || (*use == best_usage && *adm < best_age)) {
+      best_usage = *use;
+      best_age = *adm;
+      victim_key = key;
+    }
+  }
+  return victim_key;
+}
+
+void Bma::evict_at(Rack w) {
+  std::uint64_t victim_key = eviction_candidate_[w];
+  // The cached candidate can be stale (evicted from the other endpoint in
+  // this very step); rescan if so.
+  if (victim_key == kNoCandidate || !matching_view().has_key(victim_key)) {
+    victim_key = scan_eviction_candidate(w);
+  }
+  RDCN_ASSERT_MSG(victim_key != kNoCandidate,
+                  "evict_at on rack with no matching edges");
+  usage_.erase(victim_key);
+  admitted_at_.erase(victim_key);
+  remove_matching_edge_key(victim_key);
+  eviction_candidate_[w] = kNoCandidate;
+}
+
+}  // namespace rdcn::core

@@ -1,0 +1,73 @@
+// rdcn: BMA — the deterministic online b-matching baseline
+// (Bienkowski, Fuchssteiner, Marcinkowski, Schmid; PERFORMANCE 2020),
+// the state of the art the paper benchmarks R-BMA against.
+//
+// Counter-based scheme (Θ(b)-competitive, asymptotically optimal among
+// deterministic algorithms):
+//
+//   * every non-matched pair e accumulates ℓe per request into a counter
+//     c[e] — the routing cost paid on the fixed network since e last
+//     left/missed the matching;
+//   * when c[e] reaches the reconfiguration cost α, the edge has "paid its
+//     dues" and is admitted to M (c[e] resets);
+//   * if admission pushes an endpoint over degree b, the incident matching
+//     edge with the lowest usage counter (direct serves since admission,
+//     ties broken by age) is evicted, and its counter restarts from zero.
+//
+// Per-request cost profile: following the paper's reference implementation
+// (and to keep admission O(1)), BMA maintains the eviction candidate at
+// each endpoint eagerly — every request to a non-matched pair re-scans the
+// ≤ b incident matching edges of both endpoints to refresh the candidate.
+// This Θ(b) request-path scan — which the randomized algorithm does not
+// need — is the mechanistic source of BMA's runtime growth with b seen in
+// the paper's Figs 1b–4b.
+#pragma once
+
+#include "common/flat_hash.hpp"
+#include "core/online_matcher.hpp"
+
+namespace rdcn::core {
+
+class Bma final : public OnlineBMatcher {
+ public:
+  explicit Bma(const Instance& instance)
+      : OnlineBMatcher(instance),
+        eviction_candidate_(instance.num_racks(), kNoCandidate) {}
+
+  std::string name() const override { return "bma"; }
+
+  void reset() override {
+    OnlineBMatcher::reset();
+    charge_.clear();
+    usage_.clear();
+    admitted_at_.clear();
+    std::fill(eviction_candidate_.begin(), eviction_candidate_.end(),
+              kNoCandidate);
+    clock_ = 0;
+  }
+
+  /// Test hook: accumulated charge toward admission for pair key.
+  std::uint64_t charge(std::uint64_t key) const {
+    const std::uint64_t* c = charge_.find(key);
+    return c != nullptr ? *c : 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kNoCandidate = 0;
+
+  void on_request(const Request& r, bool matched) override;
+
+  /// Θ(b) scan: recomputes the least-used incident matching edge at w.
+  std::uint64_t scan_eviction_candidate(Rack w) const;
+
+  /// Evicts the cached candidate at w (falls back to a scan if stale).
+  void evict_at(Rack w);
+
+  FlatMap<std::uint64_t> charge_;       ///< pair -> paid routing cost
+  FlatMap<std::uint64_t> usage_;        ///< matched pair -> direct serves
+  FlatMap<std::uint64_t> admitted_at_;  ///< matched pair -> admission time
+  std::vector<std::uint64_t> eviction_candidate_;  ///< per-rack victim key
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace rdcn::core

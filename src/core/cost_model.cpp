@@ -1,0 +1,46 @@
+#include "core/cost_model.hpp"
+
+#include "common/flat_hash.hpp"
+
+namespace rdcn::core {
+
+std::uint64_t static_routing_cost(const Instance& instance,
+                                  const trace::Trace& trace,
+                                  const std::vector<std::uint64_t>& edges) {
+  FlatSet matched(edges.size());
+  for (std::uint64_t k : edges) matched.insert(k);
+  std::uint64_t cost = 0;
+  for (const Request& r : trace) {
+    cost += matched.contains(pair_key(r)) ? 1 : instance.dist(r.u, r.v);
+  }
+  return cost;
+}
+
+std::uint64_t static_total_cost(const Instance& instance,
+                                const trace::Trace& trace,
+                                const std::vector<std::uint64_t>& edges) {
+  return static_routing_cost(instance, trace, edges) +
+         instance.alpha * edges.size();
+}
+
+std::uint64_t oblivious_cost(const Instance& instance,
+                             const trace::Trace& trace) {
+  std::uint64_t cost = 0;
+  for (const Request& r : trace) cost += instance.dist(r.u, r.v);
+  return cost;
+}
+
+bool is_feasible_b_matching(std::size_t num_racks, std::size_t cap,
+                            const std::vector<std::uint64_t>& edges) {
+  std::vector<std::size_t> degree(num_racks, 0);
+  FlatSet seen(edges.size());
+  for (std::uint64_t k : edges) {
+    const Rack lo = pair_lo(k), hi = pair_hi(k);
+    if (lo >= hi || hi >= num_racks) return false;
+    if (!seen.insert(k)) return false;  // duplicate edge
+    if (++degree[lo] > cap || ++degree[hi] > cap) return false;
+  }
+  return true;
+}
+
+}  // namespace rdcn::core

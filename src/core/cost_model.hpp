@@ -1,0 +1,37 @@
+// rdcn: standalone cost evaluation helpers.
+//
+// Used by offline comparators and tests to price hypothetical solutions
+// (static matchings, reconstructed schedules) under the §1.1 cost model
+// without running them through an online algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/b_matching.hpp"
+#include "core/types.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::core {
+
+/// Routing cost of serving `trace` with a fixed (never reconfigured)
+/// matching given as canonical pair keys.  Does not include installation.
+std::uint64_t static_routing_cost(const Instance& instance,
+                                  const trace::Trace& trace,
+                                  const std::vector<std::uint64_t>& edges);
+
+/// Total cost of a static solution: α per installed edge + routing.
+std::uint64_t static_total_cost(const Instance& instance,
+                                const trace::Trace& trace,
+                                const std::vector<std::uint64_t>& edges);
+
+/// Oblivious cost: every request on the fixed network (the paper's violet
+/// baseline).
+std::uint64_t oblivious_cost(const Instance& instance,
+                             const trace::Trace& trace);
+
+/// True iff `edges` forms a feasible matching of maximum degree <= cap.
+bool is_feasible_b_matching(std::size_t num_racks, std::size_t cap,
+                            const std::vector<std::uint64_t>& edges);
+
+}  // namespace rdcn::core

@@ -1,0 +1,36 @@
+#include "core/factory.hpp"
+
+#include "common/assert.hpp"
+#include "core/bma.hpp"
+#include "core/greedy_online.hpp"
+#include "core/oblivious.hpp"
+#include "core/rotor.hpp"
+#include "core/so_bma.hpp"
+
+namespace rdcn::core {
+
+std::unique_ptr<OnlineBMatcher> make_matcher(const std::string& name,
+                                             const Instance& instance,
+                                             const trace::Trace* full_trace,
+                                             std::uint64_t seed,
+                                             const RBmaOptions* r_bma_options) {
+  if (name == "r_bma") {
+    RBmaOptions opts = r_bma_options != nullptr ? *r_bma_options
+                                                : RBmaOptions{};
+    if (r_bma_options == nullptr) opts.seed = seed;
+    return std::make_unique<RBma>(instance, opts);
+  }
+  if (name == "bma") return std::make_unique<Bma>(instance);
+  if (name == "greedy") return std::make_unique<GreedyOnline>(instance);
+  if (name == "oblivious") return std::make_unique<Oblivious>(instance);
+  if (name == "rotor") return std::make_unique<Rotor>(instance);
+  if (name == "so_bma") {
+    RDCN_ASSERT_MSG(full_trace != nullptr,
+                    "so_bma requires the full trace (it is offline)");
+    return std::make_unique<SoBma>(instance, *full_trace);
+  }
+  RDCN_ASSERT_MSG(false, "unknown matcher name");
+  return nullptr;
+}
+
+}  // namespace rdcn::core

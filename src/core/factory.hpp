@@ -1,0 +1,26 @@
+// rdcn: string-keyed construction of online b-matching algorithms, so
+// benches, examples, and tests can sweep algorithms uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/online_matcher.hpp"
+#include "core/r_bma.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::core {
+
+/// Algorithm selector for make_matcher.
+///   "r_bma"         the paper's randomized algorithm (marking engine)
+///   "bma"           deterministic counter baseline
+///   "greedy"        greedy online, no eviction
+///   "oblivious"     fixed network only
+///   "rotor"         demand-oblivious rotor baseline (RotorNet-style)
+///   "so_bma"        static offline (requires full_trace)
+std::unique_ptr<OnlineBMatcher> make_matcher(
+    const std::string& name, const Instance& instance,
+    const trace::Trace* full_trace = nullptr, std::uint64_t seed = 1,
+    const RBmaOptions* r_bma_options = nullptr);
+
+}  // namespace rdcn::core

@@ -1,0 +1,5 @@
+#include "core/greedy_online.hpp"
+
+namespace rdcn::core {
+// Header-only implementation; TU anchors the vtable.
+}  // namespace rdcn::core

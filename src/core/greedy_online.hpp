@@ -1,0 +1,31 @@
+// rdcn: greedy online baseline — matches a requested pair immediately
+// whenever both endpoints have spare degree, and never evicts.
+//
+// Not competitive (an adversary fills the matching with junk once and
+// starves it forever), but a useful ablation point: it separates "how much
+// of the win is just having *some* shortcuts" from the eviction policy
+// contributions of BMA/R-BMA.
+#pragma once
+
+#include "core/online_matcher.hpp"
+
+namespace rdcn::core {
+
+class GreedyOnline final : public OnlineBMatcher {
+ public:
+  explicit GreedyOnline(const Instance& instance)
+      : OnlineBMatcher(instance) {}
+
+  std::string name() const override { return "greedy_online"; }
+
+ private:
+  void on_request(const Request& r, bool matched) override {
+    if (matched) return;
+    if (!matching_view().full(r.u) && !matching_view().full(r.v) &&
+        dist(r.u, r.v) > 1) {
+      add_matching_edge(r.u, r.v);
+    }
+  }
+};
+
+}  // namespace rdcn::core

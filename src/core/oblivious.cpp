@@ -1,0 +1,5 @@
+#include "core/oblivious.hpp"
+
+namespace rdcn::core {
+// Header-only implementation; TU anchors the vtable.
+}  // namespace rdcn::core

@@ -1,0 +1,20 @@
+// rdcn: the oblivious baseline — no reconfigurable links at all; every
+// request rides the fixed network (the paper's violet reference line in
+// Figs 1a–4a).
+#pragma once
+
+#include "core/online_matcher.hpp"
+
+namespace rdcn::core {
+
+class Oblivious final : public OnlineBMatcher {
+ public:
+  explicit Oblivious(const Instance& instance) : OnlineBMatcher(instance) {}
+
+  std::string name() const override { return "oblivious"; }
+
+ private:
+  void on_request(const Request&, bool) override {}
+};
+
+}  // namespace rdcn::core

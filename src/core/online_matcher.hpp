@@ -1,0 +1,99 @@
+// rdcn: the online b-matching algorithm interface.
+//
+// serve() implements the cost model of §1.1 exactly:
+//   1. the request is routed with the *current* matching — cost 1 if
+//      {s,t} ∈ M, else ℓ_{s,t} on the fixed network;
+//   2. the algorithm may then reconfigure; every edge added to or removed
+//      from M costs α (accounted automatically by the protected mutators,
+//      so no subclass can cheat the ledger).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/b_matching.hpp"
+#include "core/types.hpp"
+
+namespace rdcn::core {
+
+class OnlineBMatcher {
+ public:
+  explicit OnlineBMatcher(const Instance& instance)
+      : instance_(instance),
+        matching_(instance.num_racks(), instance.b) {}
+
+  virtual ~OnlineBMatcher() = default;
+
+  OnlineBMatcher(const OnlineBMatcher&) = delete;
+  OnlineBMatcher& operator=(const OnlineBMatcher&) = delete;
+
+  /// Serves one request end-to-end (routing + reconfiguration accounting).
+  void serve(const Request& r) {
+    RDCN_DCHECK(r.u != r.v);
+    const bool matched = matching_.has(r.u, r.v);
+    costs_.routing_cost += matched ? 1 : instance_.dist(r.u, r.v);
+    costs_.requests += 1;
+    costs_.direct_serves += matched ? 1 : 0;
+    on_request(r, matched);
+  }
+
+  const BMatching& matching() const noexcept { return matching_; }
+  const CostStats& costs() const noexcept { return costs_; }
+  const Instance& instance() const noexcept { return instance_; }
+
+  virtual std::string name() const = 0;
+
+  /// Returns to the initial (empty-matching, zero-cost) state.
+  virtual void reset() {
+    matching_.clear();
+    costs_ = CostStats{};
+  }
+
+ protected:
+  /// Algorithm step after the request was routed.  `matched` tells whether
+  /// it was served on a matching edge.
+  virtual void on_request(const Request& r, bool matched) = 0;
+
+  /// Reconfiguration mutators — each call books α into the ledger.
+  void add_matching_edge(Rack u, Rack v) {
+    matching_.add(u, v);
+    costs_.reconfig_cost += instance_.alpha;
+    costs_.edge_adds += 1;
+  }
+  void remove_matching_edge(Rack u, Rack v) {
+    matching_.remove(u, v);
+    costs_.reconfig_cost += instance_.alpha;
+    costs_.edge_removals += 1;
+  }
+  void remove_matching_edge_key(std::uint64_t key) {
+    remove_matching_edge(pair_lo(key), pair_hi(key));
+  }
+
+  /// Pre-scheduled reconfiguration: mutates the matching WITHOUT charging
+  /// α.  Strictly for demand-OBLIVIOUS architectures (rotor switches)
+  /// whose reconfigurations are part of the fixed hardware duty cycle and
+  /// happen regardless of traffic; demand-aware algorithms must use the
+  /// charging mutators above.  Ops are still counted (prescheduled_ops).
+  void add_matching_edge_prescheduled(Rack u, Rack v) {
+    matching_.add(u, v);
+    costs_.prescheduled_ops += 1;
+  }
+  void remove_matching_edge_prescheduled(std::uint64_t key) {
+    matching_.remove(pair_lo(key), pair_hi(key));
+    costs_.prescheduled_ops += 1;
+  }
+
+  std::uint16_t dist(Rack u, Rack v) const noexcept {
+    return instance_.dist(u, v);
+  }
+  std::uint64_t alpha() const noexcept { return instance_.alpha; }
+  std::size_t b() const noexcept { return instance_.b; }
+  const BMatching& matching_view() const noexcept { return matching_; }
+
+ private:
+  Instance instance_;
+  BMatching matching_;
+  CostStats costs_;
+};
+
+}  // namespace rdcn::core

@@ -1,0 +1,81 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace rdcn::core {
+
+// ------------------------------------------------------------- EWMA ------
+
+EwmaPredictor::EwmaPredictor(double half_life) {
+  RDCN_ASSERT_MSG(half_life > 0.0, "half life must be positive");
+  decay_ = std::exp2(-1.0 / half_life);
+}
+
+void EwmaPredictor::observe(std::uint64_t pair_key) {
+  ++now_;
+  Entry& e = entries_[pair_key];
+  const double elapsed = static_cast<double>(now_ - e.last_seen);
+  e.value = e.value * std::pow(decay_, elapsed) + 1.0;
+  e.last_seen = now_;
+}
+
+double EwmaPredictor::score(std::uint64_t pair_key) const {
+  const Entry* e = entries_.find(pair_key);
+  if (e == nullptr) return 0.0;
+  const double elapsed = static_cast<double>(now_ - e->last_seen);
+  return e->value * std::pow(decay_, elapsed);
+}
+
+// ----------------------------------------------------------- Oracle ------
+
+OraclePredictor::OraclePredictor(const trace::Trace& trace) {
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    const std::uint64_t key = trace::pair_key(trace[i]);
+    std::vector<std::uint32_t>** vec = positions_.find(key);
+    if (vec == nullptr) {
+      storage_.push_back(std::make_unique<std::vector<std::uint32_t>>());
+      positions_[key] = storage_.back().get();
+      vec = positions_.find(key);
+    }
+    (*vec)->push_back(i);
+  }
+}
+
+void OraclePredictor::observe(std::uint64_t /*pair_key*/) { ++now_; }
+
+double OraclePredictor::score(std::uint64_t pair_key) const {
+  std::vector<std::uint32_t>* const* vec = positions_.find(pair_key);
+  if (vec == nullptr) return 0.0;
+  // First occurrence at position >= now_ (now_ = number of requests
+  // already observed = index of the next request).
+  const auto& pos = **vec;
+  const auto it = std::lower_bound(pos.begin(), pos.end(),
+                                   static_cast<std::uint32_t>(now_));
+  if (it == pos.end()) return 0.0;  // never requested again
+  const double distance = static_cast<double>(*it) -
+                          static_cast<double>(now_) + 1.0;
+  return 1.0 / distance;
+}
+
+// ------------------------------------------------------ NoisyOracle ------
+
+NoisyOraclePredictor::NoisyOraclePredictor(const trace::Trace& trace,
+                                           double error_rate, Xoshiro256 rng)
+    : oracle_(trace), error_rate_(error_rate), rng_(rng) {
+  RDCN_ASSERT_MSG(error_rate >= 0.0 && error_rate <= 1.0,
+                  "error rate must be a probability");
+}
+
+void NoisyOraclePredictor::observe(std::uint64_t pair_key) {
+  oracle_.observe(pair_key);
+}
+
+double NoisyOraclePredictor::score(std::uint64_t pair_key) const {
+  if (rng_.next_bool(error_rate_)) return rng_.next_double();
+  return oracle_.score(pair_key);
+}
+
+}  // namespace rdcn::core

@@ -1,0 +1,106 @@
+// rdcn: demand predictors — the paper's future-work direction (§5):
+//
+//   "In practice, traffic often features temporal structure, and it would
+//    be interesting to explore algorithms which can leverage certain
+//    predictions about future demands, without losing the worst-case
+//    guarantees."
+//
+// A DemandPredictor observes the online request stream and scores node
+// pairs by predicted near-future demand.  R-BMA consumes predictions
+// through the PredictiveMarking paging engine (paging/predictive_marking.hpp)
+// with a trust parameter that blends prediction-guided and uniform-random
+// evictions — retaining an O(log b / (1-trust)) worst-case guarantee while
+// approaching the offline behaviour when predictions are good
+// (the classic robustness/consistency trade-off of learning-augmented
+// algorithms).
+//
+// Implementations:
+//   EwmaPredictor   online, realizable: exponentially-decayed per-pair
+//                   request counts (what a production system could run);
+//   OraclePredictor offline, perfect: scores by the true distance to the
+//                   pair's next occurrence in the trace (upper bound on
+//                   what any predictor can achieve);
+//   NoisyOracle     oracle degraded with an error probability ε, for
+//                   prediction-quality sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::core {
+
+class DemandPredictor {
+ public:
+  virtual ~DemandPredictor() = default;
+
+  /// Observes the next request in stream order.
+  virtual void observe(std::uint64_t pair_key) = 0;
+
+  /// Predicted near-future demand intensity for a pair; only the relative
+  /// order of scores matters (higher = keep).
+  virtual double score(std::uint64_t pair_key) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Exponentially-weighted moving average of per-pair request rates.
+/// Decay is applied lazily per query, so observe() is O(1).
+class EwmaPredictor final : public DemandPredictor {
+ public:
+  /// `half_life` — number of requests after which a pair's weight halves.
+  explicit EwmaPredictor(double half_life = 1000.0);
+
+  void observe(std::uint64_t pair_key) override;
+  double score(std::uint64_t pair_key) const override;
+  std::string name() const override { return "ewma"; }
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    std::uint64_t last_seen = 0;
+  };
+  double decay_;  // per-request multiplicative decay
+  std::uint64_t now_ = 0;
+  FlatMap<Entry> entries_;
+};
+
+/// Perfect lookahead: scores a pair by the reciprocal distance to its next
+/// occurrence in the (fully known) trace.  observe() must be called in
+/// trace order.
+class OraclePredictor final : public DemandPredictor {
+ public:
+  explicit OraclePredictor(const trace::Trace& trace);
+
+  void observe(std::uint64_t pair_key) override;
+  double score(std::uint64_t pair_key) const override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  FlatMap<std::vector<std::uint32_t>*> positions_;
+  std::vector<std::unique_ptr<std::vector<std::uint32_t>>> storage_;
+  std::uint64_t now_ = 0;
+};
+
+/// Oracle whose answer is replaced by uniform noise with probability ε —
+/// the prediction-quality knob for the ablation bench.
+class NoisyOraclePredictor final : public DemandPredictor {
+ public:
+  NoisyOraclePredictor(const trace::Trace& trace, double error_rate,
+                       Xoshiro256 rng);
+
+  void observe(std::uint64_t pair_key) override;
+  double score(std::uint64_t pair_key) const override;
+  std::string name() const override { return "noisy_oracle"; }
+
+ private:
+  OraclePredictor oracle_;
+  double error_rate_;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace rdcn::core

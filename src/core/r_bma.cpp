@@ -1,0 +1,139 @@
+#include "core/r_bma.hpp"
+
+#include "paging/predictive_marking.hpp"
+
+namespace rdcn::core {
+
+RBma::RBma(const Instance& instance, const RBmaOptions& options)
+    : OnlineBMatcher(instance),
+      options_(options),
+      master_rng_(options.seed) {
+  build_engines();
+}
+
+void RBma::build_engines() {
+  engines_.clear();
+  engines_.reserve(instance().num_racks());
+  for (std::size_t v = 0; v < instance().num_racks(); ++v) {
+    if (options_.predictor != nullptr) {
+      DemandPredictor* predictor = options_.predictor.get();
+      engines_.push_back(std::make_unique<paging::PredictiveMarking>(
+          b(), master_rng_.split(v),
+          [predictor](paging::Key key) { return predictor->score(key); },
+          options_.prediction_trust));
+    } else {
+      engines_.push_back(paging::make_engine(options_.engine, b(),
+                                             master_rng_.split(v)));
+    }
+  }
+}
+
+std::string RBma::name() const {
+  const std::string engine =
+      options_.predictor != nullptr
+          ? "predictive:" + options_.predictor->name()
+          : paging::engine_name(options_.engine);
+  return "r_bma[" + engine + (options_.lazy_eviction ? ",lazy]" : ",eager]");
+}
+
+void RBma::reset() {
+  OnlineBMatcher::reset();
+  master_rng_ = Xoshiro256(options_.seed);
+  build_engines();
+  counters_.clear();
+  marked_.clear();
+  specials_ = 0;
+}
+
+std::uint64_t RBma::total_paging_faults() const {
+  std::uint64_t faults = 0;
+  for (const auto& e : engines_) faults += e->faults();
+  return faults;
+}
+
+void RBma::on_request(const Request& r, bool /*matched*/) {
+  const std::uint64_t key = pair_key(r);
+
+  // Learning-augmented mode: the predictor sees the full stream.
+  if (options_.predictor != nullptr) options_.predictor->observe(key);
+
+  // Theorem 1 reduction: act only on every ke-th request to this pair,
+  // ke = ceil(alpha / dist).
+  const std::uint64_t d = dist(r.u, r.v);
+  const std::uint64_t ke = (alpha() + d - 1) / d;
+  std::uint32_t& counter = counters_[key];
+  if (++counter < ke) return;
+  counter = 0;
+  ++specials_;
+
+  // Theorem 2 reduction: forward the special request to the paging engines
+  // at both endpoints; a request always ends with the pair cached there.
+  evicted_scratch_.clear();
+  engines_[r.u]->request(key, evicted_scratch_);
+  engines_[r.v]->request(key, evicted_scratch_);
+  handle_evictions(evicted_scratch_);
+
+  // Intersection invariant: the pair is now in both caches, so it becomes
+  // (or stays) a matching edge.
+  ensure_matched(r.u, r.v);
+}
+
+void RBma::handle_evictions(const std::vector<paging::Key>& evicted) {
+  for (const paging::Key key : evicted) {
+    if (!matching_view().has_key(key)) continue;  // was never doubly cached
+    if (options_.lazy_eviction) {
+      marked_.insert(key);  // keep the edge until capacity forces pruning
+    } else {
+      remove_matching_edge_key(key);
+    }
+  }
+}
+
+void RBma::ensure_matched(Rack u, Rack v) {
+  const std::uint64_t key = pair_key(u, v);
+  if (matching_view().has_key(key)) {
+    // A lazily marked edge that is requested again is doubly cached once
+    // more — resurrect it for free (no reconfiguration happened).
+    marked_.erase(key);
+    return;
+  }
+  if (matching_view().full(u)) prune_marked_at(u);
+  if (matching_view().full(v)) prune_marked_at(v);
+  add_matching_edge(u, v);
+}
+
+void RBma::prune_marked_at(Rack w) {
+  // A marked incident edge must exist: all unmarked matched edges at w are
+  // cached at w, the cache holds <= b keys, and the incoming pair occupies
+  // one cache slot without being matched yet.
+  const auto& neighbors = matching_view().neighbors(w);
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    const std::uint64_t key = pair_key(w, neighbors[i]);
+    if (marked_.contains(key)) {
+      marked_.erase(key);
+      remove_matching_edge_key(key);
+      return;
+    }
+  }
+  RDCN_ASSERT_MSG(false,
+                  "lazy eviction invariant violated: no marked edge to prune");
+}
+
+bool RBma::check_intersection_invariant() const {
+  bool ok = true;
+  // Every unmarked matching edge must be cached at both endpoints.
+  for (const std::uint64_t key : matching_view().edge_keys()) {
+    if (marked_.contains(key)) continue;
+    const Rack lo = pair_lo(key), hi = pair_hi(key);
+    if (!engines_[lo]->contains(key) || !engines_[hi]->contains(key))
+      ok = false;
+  }
+  if (!options_.lazy_eviction) {
+    // Eager mode: marked set must be empty and the invariant is two-sided —
+    // spot-check that doubly-cached pairs that are matched are exact.
+    if (marked_.size() != 0) ok = false;
+  }
+  return ok;
+}
+
+}  // namespace rdcn::core

@@ -1,0 +1,183 @@
+#include "core/static_bmatching.hpp"
+
+#include <algorithm>
+
+#include "common/flat_hash.hpp"
+
+namespace rdcn::core {
+
+namespace {
+
+struct DegreeTracker {
+  explicit DegreeTracker(std::size_t n) : degree(n, 0) {}
+  std::vector<std::size_t> degree;
+
+  bool can_add(std::uint64_t key, std::size_t cap) const {
+    return degree[pair_lo(key)] < cap && degree[pair_hi(key)] < cap;
+  }
+  void add(std::uint64_t key) {
+    ++degree[pair_lo(key)];
+    ++degree[pair_hi(key)];
+  }
+  void remove(std::uint64_t key) {
+    RDCN_DCHECK(degree[pair_lo(key)] > 0 && degree[pair_hi(key)] > 0);
+    --degree[pair_lo(key)];
+    --degree[pair_hi(key)];
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> greedy_b_matching(std::size_t num_racks,
+                                             std::size_t degree_cap,
+                                             std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight != b.weight ? a.weight > b.weight
+                                          : a.key < b.key;
+            });
+  DegreeTracker deg(num_racks);
+  std::vector<std::uint64_t> matching;
+  for (const WeightedEdge& e : edges) {
+    if (e.weight == 0) break;  // nothing to gain from zero-weight edges
+    if (deg.can_add(e.key, degree_cap)) {
+      deg.add(e.key);
+      matching.push_back(e.key);
+    }
+  }
+  return matching;
+}
+
+std::vector<std::uint64_t> local_search_b_matching(
+    std::size_t num_racks, std::size_t degree_cap,
+    const std::vector<WeightedEdge>& edges,
+    std::vector<std::uint64_t> matching, int max_passes) {
+  FlatMap<std::uint64_t> weight_of(edges.size());
+  for (const WeightedEdge& e : edges) weight_of[e.key] = e.weight;
+
+  FlatSet in_matching(matching.size());
+  DegreeTracker deg(num_racks);
+  for (std::uint64_t k : matching) {
+    in_matching.insert(k);
+    deg.add(k);
+  }
+  // Incident matched edges per rack, for conflict lookups.
+  std::vector<std::vector<std::uint64_t>> incident(num_racks);
+  for (std::uint64_t k : matching) {
+    incident[pair_lo(k)].push_back(k);
+    incident[pair_hi(k)].push_back(k);
+  }
+
+  auto cheapest_incident = [&](Rack w) -> std::uint64_t {
+    std::uint64_t best_key = 0;
+    std::uint64_t best_w = ~std::uint64_t{0};
+    for (std::uint64_t k : incident[w]) {
+      const std::uint64_t* wk = weight_of.find(k);
+      const std::uint64_t kw = wk != nullptr ? *wk : 0;
+      if (kw < best_w) {
+        best_w = kw;
+        best_key = k;
+      }
+    }
+    return best_key;
+  };
+
+  auto erase_incident = [&](std::uint64_t key) {
+    for (Rack w : {pair_lo(key), pair_hi(key)}) {
+      auto& vec = incident[w];
+      vec.erase(std::remove(vec.begin(), vec.end(), key), vec.end());
+    }
+  };
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (const WeightedEdge& e : edges) {
+      if (e.weight == 0 || in_matching.contains(e.key)) continue;
+      const Rack lo = pair_lo(e.key), hi = pair_hi(e.key);
+
+      // Cost of making room: evict the cheapest incident edge at each
+      // saturated endpoint (possibly two distinct evictions).
+      std::uint64_t evict_cost = 0;
+      std::uint64_t evict_a = 0, evict_b = 0;
+      if (deg.degree[lo] >= degree_cap) {
+        evict_a = cheapest_incident(lo);
+        const std::uint64_t* w = weight_of.find(evict_a);
+        evict_cost += w != nullptr ? *w : 0;
+      }
+      if (deg.degree[hi] >= degree_cap) {
+        evict_b = cheapest_incident(hi);
+        if (evict_b == evict_a) evict_b = 0;  // same edge frees both ends
+        else {
+          const std::uint64_t* w = weight_of.find(evict_b);
+          evict_cost += w != nullptr ? *w : 0;
+        }
+      }
+      if (e.weight <= evict_cost) continue;
+
+      // Apply the swap.
+      for (std::uint64_t victim : {evict_a, evict_b}) {
+        if (victim == 0) continue;
+        in_matching.erase(victim);
+        deg.remove(victim);
+        erase_incident(victim);
+      }
+      in_matching.insert(e.key);
+      deg.add(e.key);
+      incident[lo].push_back(e.key);
+      incident[hi].push_back(e.key);
+      improved = true;
+    }
+    if (!improved) break;
+  }
+
+  std::vector<std::uint64_t> out;
+  out.reserve(in_matching.size());
+  in_matching.for_each([&](std::uint64_t k) { out.push_back(k); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> exact_b_matching(
+    std::size_t num_racks, std::size_t degree_cap,
+    const std::vector<WeightedEdge>& edges) {
+  RDCN_ASSERT_MSG(edges.size() <= 24, "exact solver: too many edges");
+  const std::size_t m = edges.size();
+  std::uint64_t best_weight = 0;
+  std::uint32_t best_mask = 0;
+  std::vector<std::size_t> degree(num_racks);
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::fill(degree.begin(), degree.end(), 0);
+    std::uint64_t w = 0;
+    bool feasible = true;
+    for (std::size_t i = 0; i < m && feasible; ++i) {
+      if (!(mask & (1u << i))) continue;
+      const std::uint64_t key = edges[i].key;
+      if (++degree[pair_lo(key)] > degree_cap ||
+          ++degree[pair_hi(key)] > degree_cap)
+        feasible = false;
+      w += edges[i].weight;
+    }
+    if (feasible && w > best_weight) {
+      best_weight = w;
+      best_mask = mask;
+    }
+  }
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < m; ++i)
+    if (best_mask & (1u << i)) out.push_back(edges[i].key);
+  return out;
+}
+
+std::uint64_t matching_weight(const std::vector<std::uint64_t>& matching,
+                              const std::vector<WeightedEdge>& edges) {
+  FlatMap<std::uint64_t> weight_of(edges.size());
+  for (const WeightedEdge& e : edges) weight_of[e.key] = e.weight;
+  std::uint64_t total = 0;
+  for (std::uint64_t k : matching) {
+    const std::uint64_t* w = weight_of.find(k);
+    if (w != nullptr) total += *w;
+  }
+  return total;
+}
+
+}  // namespace rdcn::core

@@ -1,0 +1,53 @@
+// rdcn: static maximum-weight b-matching solvers.
+//
+// The SO-BMA comparator (§3, "Maximum Weight Matching algorithm") needs a
+// heavy b-matching of the aggregated demand graph.  Exact b-matching is
+// polynomial (Anstee '87) but heavyweight; the demand-aware-network
+// literature the paper builds on (Hanauer et al., INFOCOM'22) uses greedy
+// and local-search families, which we implement:
+//
+//   * greedy: scan edges by descending weight, add when both endpoints
+//     have spare degree — a 1/2-approximation;
+//   * local search: single-swap improvement (add one non-matching edge,
+//     remove the cheapest conflicting edges) until a local optimum or the
+//     pass limit.
+//
+// For b = 1 on tiny graphs, an exact exponential solver provides ground
+// truth for approximation tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rdcn::core {
+
+struct WeightedEdge {
+  std::uint64_t key;    ///< canonical pair id
+  std::uint64_t weight;
+};
+
+/// Greedy max-weight b-matching.  Ties broken by key for determinism.
+std::vector<std::uint64_t> greedy_b_matching(std::size_t num_racks,
+                                             std::size_t degree_cap,
+                                             std::vector<WeightedEdge> edges);
+
+/// Improves `matching` by single-edge swaps; returns the improved matching.
+/// `max_passes` bounds work (each pass is O(|edges| * b)).
+std::vector<std::uint64_t> local_search_b_matching(
+    std::size_t num_racks, std::size_t degree_cap,
+    const std::vector<WeightedEdge>& edges,
+    std::vector<std::uint64_t> matching, int max_passes = 8);
+
+/// Exact maximum-weight b-matching by exhaustive search; only for tests
+/// (asserts |edges| <= 24).
+std::vector<std::uint64_t> exact_b_matching(std::size_t num_racks,
+                                            std::size_t degree_cap,
+                                            const std::vector<WeightedEdge>& edges);
+
+/// Total weight of a matching under the given weights.
+std::uint64_t matching_weight(const std::vector<std::uint64_t>& matching,
+                              const std::vector<WeightedEdge>& edges);
+
+}  // namespace rdcn::core

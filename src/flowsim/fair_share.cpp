@@ -1,0 +1,76 @@
+#include "flowsim/fair_share.hpp"
+
+#include <limits>
+
+namespace rdcn::flowsim {
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<FlowRoute>& flows,
+    const std::vector<double>& capacities, double unbounded) {
+  const std::size_t num_flows = flows.size();
+  const std::size_t num_links = capacities.size();
+
+  std::vector<double> rates(num_flows, 0.0);
+  std::vector<double> residual = capacities;
+  std::vector<std::uint32_t> active_on_link(num_links, 0);
+  std::vector<std::uint8_t> frozen(num_flows, 0);
+
+  std::size_t unfrozen = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flows[f].links.empty()) {
+      rates[f] = unbounded;
+      frozen[f] = 1;
+      continue;
+    }
+    ++unfrozen;
+    for (std::uint32_t l : flows[f].links) {
+      RDCN_DCHECK(l < num_links);
+      RDCN_DCHECK(capacities[l] > 0.0);
+      ++active_on_link[l];
+    }
+  }
+
+  while (unfrozen > 0) {
+    // Bottleneck link: minimal fair share among links with active flows.
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_on_link[l] == 0) continue;
+      const double share =
+          residual[l] / static_cast<double>(active_on_link[l]);
+      if (share < bottleneck_share) bottleneck_share = share;
+    }
+    RDCN_ASSERT_MSG(bottleneck_share <
+                        std::numeric_limits<double>::infinity(),
+                    "unfrozen flow with no constraining link");
+
+    // Freeze every unfrozen flow crossing a link at the bottleneck share.
+    bool froze_any = false;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      bool at_bottleneck = false;
+      for (std::uint32_t l : flows[f].links) {
+        const double share =
+            residual[l] / static_cast<double>(active_on_link[l]);
+        // Tolerance: floating-point equality of shares.
+        if (share <= bottleneck_share * (1.0 + 1e-12)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (!at_bottleneck) continue;
+      rates[f] = bottleneck_share;
+      frozen[f] = 1;
+      froze_any = true;
+      --unfrozen;
+      for (std::uint32_t l : flows[f].links) {
+        residual[l] -= bottleneck_share;
+        if (residual[l] < 0.0) residual[l] = 0.0;  // rounding guard
+        --active_on_link[l];
+      }
+    }
+    RDCN_ASSERT_MSG(froze_any, "progressive filling made no progress");
+  }
+  return rates;
+}
+
+}  // namespace rdcn::flowsim

@@ -1,0 +1,32 @@
+// rdcn: max-min fair rate allocation (progressive filling / water-filling).
+//
+// Given a set of flows, each crossing a set of links with finite
+// capacities, computes the unique max-min fair rate vector: repeatedly
+// find the most-constrained link (smallest fair share = residual capacity
+// / unfrozen flows), freeze its flows at that share, subtract, repeat.
+// This is the standard fluid model for TCP-like bandwidth sharing and the
+// throughput semantics behind the papers the cost model cites (§1.1:
+// "throughput of a network is inversely proportional to the route
+// length").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rdcn::flowsim {
+
+/// One flow's routing: indices into the capacity vector.
+struct FlowRoute {
+  std::vector<std::uint32_t> links;
+};
+
+/// Computes max-min fair rates.  `capacities[l]` > 0 for every link used.
+/// Flows with empty link sets (same-rack traffic) get rate `unbounded`.
+/// Complexity: O(iterations · (F + L)) with iterations <= L.
+std::vector<double> max_min_fair_rates(
+    const std::vector<FlowRoute>& flows,
+    const std::vector<double>& capacities, double unbounded = 1e18);
+
+}  // namespace rdcn::flowsim

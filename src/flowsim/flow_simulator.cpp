@@ -1,0 +1,124 @@
+#include "flowsim/flow_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace rdcn::flowsim {
+
+SimulationResult simulate_flows(const FlowNetwork& network,
+                                std::vector<FlowSpec> specs) {
+  SimulationResult result;
+  result.flows.resize(specs.size());
+  if (specs.empty()) return result;
+
+  // Arrival order (stable so equal arrival times keep spec order).
+  std::vector<std::uint32_t> order(specs.size());
+  for (std::uint32_t i = 0; i < specs.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return specs[a].arrival_time < specs[b].arrival_time;
+                   });
+
+  // Precompute routes and static stats.
+  std::vector<FlowRoute> routes(specs.size());
+  double weighted_hops = 0.0;
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    RDCN_ASSERT_MSG(specs[f].size > 0.0, "flow size must be positive");
+    routes[f] = network.route(specs[f].src, specs[f].dst);
+    result.flows[f].hops = network.route_hops(specs[f].src, specs[f].dst);
+    result.total_bytes += specs[f].size;
+    weighted_hops +=
+        specs[f].size * static_cast<double>(result.flows[f].hops);
+  }
+  result.bandwidth_tax =
+      result.total_bytes > 0.0 ? weighted_hops / result.total_bytes : 0.0;
+
+  // Fluid event loop.
+  std::vector<double> remaining(specs.size());
+  std::vector<std::uint32_t> active;  // flow indices currently in flight
+  std::size_t next_arrival = 0;
+  double now = specs[order[0]].arrival_time;
+
+  std::vector<FlowRoute> active_routes;
+  std::vector<double> rates;
+  while (next_arrival < order.size() || !active.empty()) {
+    // Admit all flows arriving at `now`.
+    while (next_arrival < order.size() &&
+           specs[order[next_arrival]].arrival_time <= now + 1e-12) {
+      const std::uint32_t f = order[next_arrival++];
+      remaining[f] = specs[f].size;
+      active.push_back(f);
+    }
+
+    // Recompute max-min fair rates for the active set.
+    active_routes.clear();
+    active_routes.reserve(active.size());
+    for (std::uint32_t f : active) active_routes.push_back(routes[f]);
+    rates = max_min_fair_rates(active_routes, network.capacities());
+
+    // Next event: earliest completion or next arrival.
+    double next_event = std::numeric_limits<double>::infinity();
+    if (next_arrival < order.size())
+      next_event = specs[order[next_arrival]].arrival_time;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      RDCN_ASSERT_MSG(rates[i] > 0.0, "active flow with zero rate");
+      next_event =
+          std::min(next_event, now + remaining[active[i]] / rates[i]);
+    }
+    RDCN_ASSERT(std::isfinite(next_event));
+    const double dt = next_event - now;
+    now = next_event;
+
+    // Progress transfers; retire completed flows.
+    for (std::size_t i = 0; i < active.size();) {
+      const std::uint32_t f = active[i];
+      remaining[f] -= rates[i] * dt;
+      if (remaining[f] <= 1e-9 * specs[f].size + 1e-12) {
+        result.flows[f].completion_time = now;
+        result.flows[f].duration = now - specs[f].arrival_time;
+        active[i] = active.back();
+        active.pop_back();
+        rates[i] = rates.back();
+        rates.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Aggregate metrics.
+  result.makespan = 0.0;
+  std::vector<double> durations;
+  durations.reserve(result.flows.size());
+  double sum_fct = 0.0;
+  for (const FlowStats& f : result.flows) {
+    result.makespan = std::max(result.makespan, f.completion_time);
+    durations.push_back(f.duration);
+    sum_fct += f.duration;
+  }
+  result.mean_fct = sum_fct / static_cast<double>(durations.size());
+  std::sort(durations.begin(), durations.end());
+  result.p99_fct =
+      durations[static_cast<std::size_t>(0.99 * (durations.size() - 1))];
+  result.aggregate_throughput =
+      result.makespan > 0.0 ? result.total_bytes / result.makespan : 0.0;
+  return result;
+}
+
+std::vector<FlowSpec> flows_from_trace(const trace::Trace& trace,
+                                       double flow_size,
+                                       double arrival_rate) {
+  RDCN_ASSERT(flow_size > 0.0 && arrival_rate > 0.0);
+  std::vector<FlowSpec> specs;
+  specs.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    specs.push_back({trace[i].u, trace[i].v, flow_size,
+                     static_cast<double>(i) / arrival_rate});
+  }
+  return specs;
+}
+
+}  // namespace rdcn::flowsim

@@ -1,0 +1,61 @@
+// rdcn: fluid flow-level simulator.
+//
+// Event-driven simulation of flows sharing the capacitated network under
+// max-min fairness: between events every active flow transfers at its fair
+// rate; events are flow arrivals and completions; rates are recomputed at
+// each event.  This is the standard flow-level model (as used by
+// datacenter throughput studies the paper builds on) and turns the
+// hop-count cost model into measurable throughput / flow-completion-time
+// numbers: shorter routes consume less aggregate capacity ("bandwidth
+// tax"), so matchings that shortcut heavy pairs complete the same offered
+// load faster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flowsim/network.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::flowsim {
+
+struct FlowSpec {
+  std::uint32_t src;
+  std::uint32_t dst;
+  double size;          ///< bytes (capacity units x seconds)
+  double arrival_time;  ///< seconds
+};
+
+struct FlowStats {
+  double completion_time = 0.0;  ///< absolute finish time
+  double duration = 0.0;         ///< finish - arrival
+  std::size_t hops = 0;
+};
+
+struct SimulationResult {
+  std::vector<FlowStats> flows;
+  double makespan = 0.0;           ///< when the last flow finished
+  double mean_fct = 0.0;
+  double p99_fct = 0.0;
+  double aggregate_throughput = 0.0;  ///< total bytes / makespan
+  /// Bandwidth tax: (Σ bytes·hops) / (Σ bytes) — mean capacity consumed
+  /// per delivered byte; 1.0 is the optical ideal.
+  double bandwidth_tax = 0.0;
+
+  /// Total offered bytes.
+  double total_bytes = 0.0;
+};
+
+/// Runs all flows to completion.  `specs` need not be sorted.
+/// Rates are recomputed at every arrival/completion (O(events · F · L)
+/// worst case; fine for the 10^3..10^4-flow studies in bench/).
+SimulationResult simulate_flows(const FlowNetwork& network,
+                                std::vector<FlowSpec> specs);
+
+/// Derives flow specs from a request trace: request i becomes a flow of
+/// `flow_size` bytes arriving at i / arrival_rate seconds.
+std::vector<FlowSpec> flows_from_trace(const trace::Trace& trace,
+                                       double flow_size,
+                                       double arrival_rate);
+
+}  // namespace rdcn::flowsim

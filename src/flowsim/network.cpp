@@ -1,0 +1,45 @@
+#include "flowsim/network.hpp"
+
+#include "trace/request.hpp"
+
+namespace rdcn::flowsim {
+
+FlowNetwork::FlowNetwork(const net::Topology& topology,
+                         const core::BMatching& matching,
+                         double fixed_capacity, double optical_capacity)
+    : topology_(&topology),
+      paths_(topology.graph, topology.racks),
+      num_fixed_(topology.graph.num_edges()) {
+  RDCN_ASSERT_MSG(fixed_capacity > 0.0 && optical_capacity > 0.0,
+                  "capacities must be positive");
+  capacities_.assign(num_fixed_, fixed_capacity);
+  for (const std::uint64_t key : matching.edge_keys()) {
+    optical_link_of_pair_[key] =
+        static_cast<std::uint32_t>(capacities_.size());
+    capacities_.push_back(optical_capacity);
+  }
+}
+
+FlowRoute FlowNetwork::route(std::uint32_t src, std::uint32_t dst) const {
+  FlowRoute r;
+  if (src == dst) return r;
+  const std::uint64_t key = trace::pair_key(src, dst);
+  const std::uint32_t* optical = optical_link_of_pair_.find(key);
+  if (optical != nullptr) {
+    r.links.push_back(*optical);
+    return r;
+  }
+  const std::vector<net::EdgeId>& p = paths_.path(src, dst);
+  r.links.assign(p.begin(), p.end());
+  return r;
+}
+
+std::size_t FlowNetwork::route_hops(std::uint32_t src,
+                                    std::uint32_t dst) const {
+  if (src == dst) return 0;
+  const std::uint64_t key = trace::pair_key(src, dst);
+  if (optical_link_of_pair_.contains(key)) return 1;
+  return paths_.path(src, dst).size();
+}
+
+}  // namespace rdcn::flowsim

@@ -1,0 +1,54 @@
+// rdcn: the capacitated network a flow-level simulation runs on — the
+// fixed switch fabric plus the reconfigurable optical links of one
+// b-matching snapshot.
+//
+// Link index space: [0, num_fixed_links) are the topology's physical links
+// (ids from net::PathTable / Graph::edge_list()); optical links of the
+// matching are appended after them.  A flow between matched racks uses its
+// single optical link; otherwise it follows the fixed shortest path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_hash.hpp"
+#include "core/b_matching.hpp"
+#include "flowsim/fair_share.hpp"
+#include "net/path_table.hpp"
+#include "net/topology.hpp"
+
+namespace rdcn::flowsim {
+
+class FlowNetwork {
+ public:
+  /// `fixed_capacity`: capacity of every fabric link; `optical_capacity`:
+  /// capacity of each reconfigurable link (typically equal or larger —
+  /// circuit switching carries full line rate).
+  FlowNetwork(const net::Topology& topology, const core::BMatching& matching,
+              double fixed_capacity, double optical_capacity);
+
+  /// Route of a rack-to-rack flow under segregated routing (§1.1: a
+  /// request takes either the fixed network or its direct matching edge).
+  FlowRoute route(std::uint32_t src, std::uint32_t dst) const;
+
+  const std::vector<double>& capacities() const noexcept {
+    return capacities_;
+  }
+  std::size_t num_fixed_links() const noexcept { return num_fixed_; }
+  std::size_t num_optical_links() const noexcept {
+    return capacities_.size() - num_fixed_;
+  }
+
+  /// Hop count of the route (1 for optical, path length otherwise);
+  /// 0 for src == dst.
+  std::size_t route_hops(std::uint32_t src, std::uint32_t dst) const;
+
+ private:
+  const net::Topology* topology_;
+  net::PathTable paths_;
+  FlatMap<std::uint32_t> optical_link_of_pair_;  // pair key -> link index
+  std::vector<double> capacities_;
+  std::size_t num_fixed_ = 0;
+};
+
+}  // namespace rdcn::flowsim

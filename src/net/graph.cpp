@@ -1,0 +1,58 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+
+namespace rdcn::net {
+
+void Graph::finalize() {
+  RDCN_ASSERT_MSG(!finalized_, "finalize() called twice");
+  offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_vertices_; ++i) offsets_[i] += offsets_[i - 1];
+  adj_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adj_[cursor[u]++] = v;
+    adj_[cursor[v]++] = u;
+  }
+  finalized_ = true;
+}
+
+void Graph::bfs(NodeId source, std::vector<std::uint16_t>& out) const {
+  RDCN_ASSERT_MSG(finalized_, "bfs() requires a finalized graph");
+  RDCN_ASSERT(source < num_vertices_);
+  out.assign(num_vertices_, kUnreachable);
+  std::vector<NodeId> frontier, next;
+  frontier.reserve(num_vertices_);
+  next.reserve(num_vertices_);
+  out[source] = 0;
+  frontier.push_back(source);
+  std::uint16_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId w : neighbors(u)) {
+        if (out[w] == kUnreachable) {
+          out[w] = depth;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+bool Graph::connected() const {
+  RDCN_ASSERT_MSG(finalized_, "connected() requires a finalized graph");
+  if (num_vertices_ == 0) return true;
+  std::vector<std::uint16_t> dist;
+  bfs(0, dist);
+  return std::all_of(dist.begin(), dist.end(),
+                     [](std::uint16_t d) { return d != kUnreachable; });
+}
+
+}  // namespace rdcn::net

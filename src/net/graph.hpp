@@ -1,0 +1,88 @@
+// rdcn: undirected graph for the fixed (non-reconfigurable) network.
+//
+// The fixed network F in the paper is static for the lifetime of an
+// experiment; only shortest-path distances between the n "racks"
+// (top-of-rack switches) feed into the cost model.  The graph may contain
+// auxiliary switch vertices (aggregation/core layers of a fat-tree) that are
+// not racks; topology builders mark which vertices are racks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rdcn::net {
+
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Simple undirected graph with CSR-style adjacency built on finalize().
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_vertices) : num_vertices_(num_vertices) {}
+
+  std::size_t num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  NodeId add_vertex() {
+    RDCN_ASSERT_MSG(!finalized_, "cannot mutate a finalized graph");
+    return static_cast<NodeId>(num_vertices_++);
+  }
+
+  void add_edge(NodeId u, NodeId v) {
+    RDCN_ASSERT_MSG(!finalized_, "cannot mutate a finalized graph");
+    RDCN_ASSERT(u < num_vertices_ && v < num_vertices_);
+    RDCN_ASSERT_MSG(u != v, "self-loops are not allowed");
+    edges_.push_back({u, v});
+  }
+
+  /// Builds CSR adjacency; must be called before neighbor queries or BFS.
+  void finalize();
+
+  bool finalized() const noexcept { return finalized_; }
+
+  /// Neighbors of u as a contiguous span (valid after finalize()).
+  struct NeighborRange {
+    const NodeId* first;
+    const NodeId* last;
+    const NodeId* begin() const noexcept { return first; }
+    const NodeId* end() const noexcept { return last; }
+    std::size_t size() const noexcept {
+      return static_cast<std::size_t>(last - first);
+    }
+  };
+  NeighborRange neighbors(NodeId u) const noexcept {
+    RDCN_DCHECK(finalized_ && u < num_vertices_);
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  std::size_t degree(NodeId u) const noexcept {
+    RDCN_DCHECK(finalized_ && u < num_vertices_);
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Single-source BFS hop distances; unreachable vertices get
+  /// kUnreachable.  `out` is resized to num_vertices().
+  static constexpr std::uint16_t kUnreachable = 0xFFFF;
+  void bfs(NodeId source, std::vector<std::uint16_t>& out) const;
+
+  /// True iff every vertex can reach every other.
+  bool connected() const;
+
+  const std::vector<std::pair<NodeId, NodeId>>& edge_list() const noexcept {
+    return edges_;
+  }
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adj_;
+  bool finalized_ = false;
+};
+
+}  // namespace rdcn::net

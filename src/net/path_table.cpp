@@ -1,0 +1,63 @@
+#include "net/path_table.hpp"
+
+#include <algorithm>
+
+#include "common/flat_hash.hpp"
+
+namespace rdcn::net {
+
+PathTable::PathTable(const Graph& g, const std::vector<NodeId>& racks)
+    : n_(racks.size()), paths_(racks.size() * racks.size()) {
+  RDCN_ASSERT_MSG(g.finalized(), "graph must be finalized");
+
+  // Edge id lookup: canonical (lo<<32|hi) vertex pair -> edge index.
+  FlatMap<EdgeId> edge_ids(g.num_edges());
+  for (std::size_t i = 0; i < g.edge_list().size(); ++i) {
+    const auto& [u, v] = g.edge_list()[i];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+    edge_ids[key] = static_cast<EdgeId>(i);
+  }
+  auto edge_between = [&](NodeId u, NodeId v) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+    const EdgeId* id = edge_ids.find(key);
+    RDCN_ASSERT_MSG(id != nullptr, "BFS tree edge missing from edge list");
+    return *id;
+  };
+
+  std::vector<NodeId> parent(g.num_vertices());
+  std::vector<std::uint8_t> visited(g.num_vertices());
+  std::vector<NodeId> queue;
+  for (std::size_t a = 0; a < n_; ++a) {
+    // BFS with parent tracking from racks[a].
+    std::fill(visited.begin(), visited.end(), 0);
+    queue.clear();
+    queue.push_back(racks[a]);
+    visited[racks[a]] = 1;
+    parent[racks[a]] = racks[a];
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (NodeId w : g.neighbors(u)) {
+        if (!visited[w]) {
+          visited[w] = 1;
+          parent[w] = u;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (a == b) continue;
+      RDCN_ASSERT_MSG(visited[racks[b]], "racks must be connected");
+      std::vector<EdgeId>& path = paths_[a * n_ + b];
+      NodeId cur = racks[b];
+      while (cur != racks[a]) {
+        path.push_back(edge_between(cur, parent[cur]));
+        cur = parent[cur];
+      }
+      std::reverse(path.begin(), path.end());
+    }
+  }
+}
+
+}  // namespace rdcn::net

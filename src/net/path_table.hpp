@@ -1,0 +1,43 @@
+// rdcn: explicit shortest paths between racks.
+//
+// The matching layer only needs hop counts (net/distance_matrix.hpp); the
+// flow-level simulator (src/flowsim) needs the actual links a flow crosses
+// to model capacity sharing.  PathTable stores, for every rack pair, one
+// BFS shortest path through the switch-level graph as a sequence of edge
+// ids (edge id = index into Graph::edge_list()).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "net/graph.hpp"
+
+namespace rdcn::net {
+
+using EdgeId = std::uint32_t;
+
+class PathTable {
+ public:
+  PathTable() = default;
+
+  /// Precomputes one shortest path per rack pair (BFS tree per source, so
+  /// paths from a common source share links — consistent with ECMP-less
+  /// deterministic routing).
+  PathTable(const Graph& g, const std::vector<NodeId>& racks);
+
+  std::size_t num_racks() const noexcept { return n_; }
+
+  /// Edge ids (into Graph::edge_list()) along the path from rack a to
+  /// rack b; empty for a == b.
+  const std::vector<EdgeId>& path(std::uint32_t a, std::uint32_t b) const {
+    RDCN_DCHECK(a < n_ && b < n_);
+    return paths_[a * n_ + b];
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::vector<EdgeId>> paths_;
+};
+
+}  // namespace rdcn::net

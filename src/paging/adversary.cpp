@@ -1,0 +1,26 @@
+#include "paging/adversary.hpp"
+
+namespace rdcn::paging {
+
+std::vector<Key> CruelAdversary::drive(PagingAlgorithm& alg,
+                                       std::size_t steps) const {
+  std::vector<Key> seq;
+  seq.reserve(steps);
+  std::vector<Key> evicted;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Key k = next(alg);
+    seq.push_back(k);
+    evicted.clear();
+    alg.request(k, evicted);
+  }
+  return seq;
+}
+
+std::vector<Key> UniformAdversary::sequence(std::size_t steps) {
+  std::vector<Key> seq;
+  seq.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) seq.push_back(next());
+  return seq;
+}
+
+}  // namespace rdcn::paging

@@ -1,0 +1,64 @@
+// rdcn: adversarial request generators for the lower-bound experiments
+// (§2.4 of the paper).
+//
+// * CruelAdversary — for deterministic algorithms: always requests a key
+//   from a (b+1)-element universe that is NOT currently cached, forcing a
+//   fault on every request.  OPT faults only ~1/b of the time, which is the
+//   classic Θ(b) deterministic lower bound; lifted to b-matching via the
+//   star graph (Lemma 1) this separates BMA from R-BMA.
+// * UniformAdversary — oblivious random adversary over b+1 keys; against
+//   it every lazy algorithm faults with probability ≈ 1/(b+1) per request
+//   while randomized marking tracks OPT within O(log b) (coupon-collector
+//   phase structure).  Used to exhibit the Ω(log b) randomized bound.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "paging/paging_algorithm.hpp"
+
+namespace rdcn::paging {
+
+/// Generates the next adversarial key for a deterministic algorithm whose
+/// cache contents are observable.
+class CruelAdversary {
+ public:
+  /// Universe is {0, ..., universe_size-1}; requires universe > capacity.
+  explicit CruelAdversary(std::size_t universe_size)
+      : universe_(universe_size) {
+    RDCN_ASSERT(universe_size >= 2);
+  }
+
+  /// Returns a key not cached by `alg` (scans the small universe).
+  Key next(const PagingAlgorithm& alg) const {
+    for (Key k = 0; k < universe_; ++k)
+      if (!alg.contains(k)) return k;
+    RDCN_ASSERT_MSG(false, "adversary universe must exceed cache capacity");
+    return 0;
+  }
+
+  /// Drives `alg` for `steps` requests; returns the generated sequence.
+  std::vector<Key> drive(PagingAlgorithm& alg, std::size_t steps) const;
+
+ private:
+  std::size_t universe_;
+};
+
+/// Oblivious uniform adversary over {0, ..., universe_size-1}.
+class UniformAdversary {
+ public:
+  UniformAdversary(std::size_t universe_size, Xoshiro256 rng)
+      : universe_(universe_size), rng_(rng) {
+    RDCN_ASSERT(universe_size >= 2);
+  }
+
+  Key next() { return rng_.next_below(universe_); }
+
+  std::vector<Key> sequence(std::size_t steps);
+
+ private:
+  std::size_t universe_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace rdcn::paging

@@ -1,0 +1,5 @@
+#include "paging/clock.hpp"
+
+namespace rdcn::paging {
+// Header-only implementation; TU anchors the vtable.
+}  // namespace rdcn::paging

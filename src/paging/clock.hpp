@@ -1,0 +1,60 @@
+// rdcn: CLOCK (second-chance) paging — the classic LRU approximation used
+// by real VM systems; included as an ablation engine for R-BMA.
+#pragma once
+
+#include "paging/paging_algorithm.hpp"
+
+namespace rdcn::paging {
+
+class ClockPaging final : public PagingAlgorithm {
+ public:
+  explicit ClockPaging(std::size_t capacity) : PagingAlgorithm(capacity) {
+    ring_.reserve(capacity);
+  }
+
+  std::string name() const override { return "clock"; }
+
+  void reset() override {
+    PagingAlgorithm::reset();
+    ring_.clear();
+    ref_.clear();
+    index_.clear();
+    hand_ = 0;
+  }
+
+ protected:
+  void on_hit(Key key) override {
+    const std::uint32_t* s = index_.find(key);
+    RDCN_DCHECK(s != nullptr);
+    ref_[*s] = 1;
+  }
+
+  void on_fault(Key key, std::vector<Key>& evicted) override {
+    if (cache_full()) {
+      // Sweep: clear reference bits until an unreferenced slot is found.
+      while (ref_[hand_] != 0) {
+        ref_[hand_] = 0;
+        hand_ = (hand_ + 1) % ring_.size();
+      }
+      const Key victim = ring_[hand_];
+      evict_from_cache(victim, evicted);
+      index_.erase(victim);
+      ring_[hand_] = key;
+      ref_[hand_] = 1;
+      index_[key] = static_cast<std::uint32_t>(hand_);
+      hand_ = (hand_ + 1) % ring_.size();
+    } else {
+      index_[key] = static_cast<std::uint32_t>(ring_.size());
+      ring_.push_back(key);
+      ref_.push_back(1);
+    }
+  }
+
+ private:
+  std::vector<Key> ring_;
+  std::vector<std::uint8_t> ref_;
+  FlatMap<std::uint32_t> index_;
+  std::size_t hand_ = 0;
+};
+
+}  // namespace rdcn::paging

@@ -1,0 +1,67 @@
+#include "paging/factory.hpp"
+
+#include "common/assert.hpp"
+#include "paging/arc.hpp"
+#include "paging/clock.hpp"
+#include "paging/lfu.hpp"
+#include "paging/fifo.hpp"
+#include "paging/flush_when_full.hpp"
+#include "paging/lru.hpp"
+#include "paging/marking.hpp"
+#include "paging/random_eviction.hpp"
+
+namespace rdcn::paging {
+
+EngineKind parse_engine(const std::string& name) {
+  if (name == "marking") return EngineKind::kMarking;
+  if (name == "lru") return EngineKind::kLru;
+  if (name == "fifo") return EngineKind::kFifo;
+  if (name == "clock") return EngineKind::kClock;
+  if (name == "random") return EngineKind::kRandom;
+  if (name == "flush_when_full") return EngineKind::kFlushWhenFull;
+  if (name == "lfu") return EngineKind::kLfu;
+  if (name == "arc") return EngineKind::kArc;
+  RDCN_ASSERT_MSG(false, "unknown paging engine name");
+  return EngineKind::kMarking;
+}
+
+std::string engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMarking: return "marking";
+    case EngineKind::kLru: return "lru";
+    case EngineKind::kFifo: return "fifo";
+    case EngineKind::kClock: return "clock";
+    case EngineKind::kRandom: return "random";
+    case EngineKind::kFlushWhenFull: return "flush_when_full";
+    case EngineKind::kLfu: return "lfu";
+    case EngineKind::kArc: return "arc";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<PagingAlgorithm> make_engine(EngineKind kind,
+                                             std::size_t capacity,
+                                             Xoshiro256 rng) {
+  switch (kind) {
+    case EngineKind::kMarking:
+      return std::make_unique<Marking>(capacity, rng);
+    case EngineKind::kLru:
+      return std::make_unique<Lru>(capacity);
+    case EngineKind::kFifo:
+      return std::make_unique<Fifo>(capacity);
+    case EngineKind::kClock:
+      return std::make_unique<ClockPaging>(capacity);
+    case EngineKind::kRandom:
+      return std::make_unique<RandomEviction>(capacity, rng);
+    case EngineKind::kFlushWhenFull:
+      return std::make_unique<FlushWhenFull>(capacity);
+    case EngineKind::kLfu:
+      return std::make_unique<Lfu>(capacity);
+    case EngineKind::kArc:
+      return std::make_unique<Arc>(capacity);
+  }
+  RDCN_ASSERT_MSG(false, "unreachable");
+  return nullptr;
+}
+
+}  // namespace rdcn::paging

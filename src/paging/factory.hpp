@@ -1,0 +1,36 @@
+// rdcn: string-keyed factory for paging engines, so benches/examples can
+// select the engine inside R-BMA from the command line.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "paging/paging_algorithm.hpp"
+
+namespace rdcn::paging {
+
+enum class EngineKind {
+  kMarking,
+  kLru,
+  kFifo,
+  kClock,
+  kRandom,
+  kFlushWhenFull,
+  kLfu,
+  kArc,
+};
+
+/// Parses "marking" | "lru" | "fifo" | "clock" | "random" |
+/// "flush_when_full" | "lfu" | "arc"; asserts on unknown names.
+EngineKind parse_engine(const std::string& name);
+
+std::string engine_name(EngineKind kind);
+
+/// Instantiates an engine with the given capacity.  `rng` seeds randomized
+/// engines (ignored by deterministic ones).
+std::unique_ptr<PagingAlgorithm> make_engine(EngineKind kind,
+                                             std::size_t capacity,
+                                             Xoshiro256 rng);
+
+}  // namespace rdcn::paging

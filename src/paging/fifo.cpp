@@ -1,0 +1,5 @@
+#include "paging/fifo.hpp"
+
+namespace rdcn::paging {
+// Header-only implementation; TU anchors the vtable.
+}  // namespace rdcn::paging

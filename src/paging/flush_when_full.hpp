@@ -1,0 +1,25 @@
+// rdcn: flush-when-full paging — on a fault with a full cache, evict
+// everything.  The textbook (2b)-competitive strawman; its pathology inside
+// R-BMA (mass simultaneous matching teardown) makes it a useful extreme
+// point in the paging-engine ablation.
+#pragma once
+
+#include "paging/paging_algorithm.hpp"
+
+namespace rdcn::paging {
+
+class FlushWhenFull final : public PagingAlgorithm {
+ public:
+  explicit FlushWhenFull(std::size_t capacity) : PagingAlgorithm(capacity) {}
+
+  std::string name() const override { return "flush_when_full"; }
+
+ protected:
+  void on_fault(Key /*key*/, std::vector<Key>& evicted) override {
+    if (cache_full()) {
+      for (Key k : cached_keys()) evict_from_cache(k, evicted);
+    }
+  }
+};
+
+}  // namespace rdcn::paging

@@ -1,0 +1,5 @@
+#include "paging/lfu.hpp"
+
+namespace rdcn::paging {
+// Header-only implementation; TU anchors the vtable.
+}  // namespace rdcn::paging

@@ -1,0 +1,6 @@
+// Marking is header-only (hot path must inline); this TU anchors the vtable.
+#include "paging/marking.hpp"
+
+namespace rdcn::paging {
+// Intentionally empty.
+}  // namespace rdcn::paging

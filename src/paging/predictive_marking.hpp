@@ -1,0 +1,126 @@
+// rdcn: prediction-augmented marking — learning-augmented paging in the
+// style the paper's §5 calls for.
+//
+// Identical phase structure to randomized marking, but the eviction choice
+// among unmarked keys consults a demand scorer:
+//
+//   * with probability `trust`, evict the unmarked key with the LOWEST
+//     predicted near-future demand (follow the advice),
+//   * otherwise evict uniformly at random (classic marking).
+//
+// Consistency: with a perfect scorer and trust -> 1 the evictions approach
+// Belady-within-phase.  Robustness: every eviction is uniform-random with
+// probability (1-trust), so the expected fault count is within a
+// 1/(1-trust) factor of plain marking's 2·H_b guarantee regardless of
+// prediction quality — worst-case guarantees are retained, as the paper
+// demands.
+//
+// The scorer is an injected std::function so this layer stays independent
+// of where predictions come from (core/predictor.hpp supplies EWMA /
+// oracle / noisy-oracle implementations).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "paging/paging_algorithm.hpp"
+
+namespace rdcn::paging {
+
+class PredictiveMarking final : public PagingAlgorithm {
+ public:
+  using Scorer = std::function<double(Key)>;
+
+  PredictiveMarking(std::size_t capacity, Xoshiro256 rng, Scorer scorer,
+                    double trust)
+      : PagingAlgorithm(capacity),
+        rng_(rng),
+        scorer_(std::move(scorer)),
+        trust_(trust) {
+    RDCN_ASSERT_MSG(trust >= 0.0 && trust <= 1.0,
+                    "trust must be a probability");
+    RDCN_ASSERT_MSG(scorer_ != nullptr, "scorer required");
+    unmarked_.reserve(capacity);
+  }
+
+  std::string name() const override { return "predictive_marking"; }
+
+  void reset() override {
+    PagingAlgorithm::reset();
+    unmarked_.clear();
+    pos_.clear();
+    phases_ = 0;
+    advised_evictions_ = 0;
+    random_evictions_ = 0;
+  }
+
+  std::uint64_t phases() const noexcept { return phases_; }
+  std::uint64_t advised_evictions() const noexcept {
+    return advised_evictions_;
+  }
+  std::uint64_t random_evictions() const noexcept {
+    return random_evictions_;
+  }
+
+ protected:
+  void on_hit(Key key) override { mark(key); }
+
+  void on_fault(Key /*key*/, std::vector<Key>& evicted) override {
+    if (cache_full()) {
+      if (unmarked_.empty()) {
+        ++phases_;
+        for (Key k : cached_keys()) {
+          pos_[k] = unmarked_.size();
+          unmarked_.push_back(k);
+        }
+      }
+      std::size_t victim_index;
+      if (rng_.next_bool(trust_)) {
+        // Follow the advice: evict the coldest unmarked key.
+        ++advised_evictions_;
+        victim_index = 0;
+        double coldest = scorer_(unmarked_[0]);
+        for (std::size_t i = 1; i < unmarked_.size(); ++i) {
+          const double s = scorer_(unmarked_[i]);
+          if (s < coldest) {
+            coldest = s;
+            victim_index = i;
+          }
+        }
+      } else {
+        // Hedge: classic uniform-random marking eviction.
+        ++random_evictions_;
+        victim_index = rng_.next_below(unmarked_.size());
+      }
+      const Key victim = unmarked_[victim_index];
+      remove_unmarked_at(victim_index);
+      evict_from_cache(victim, evicted);
+    }
+  }
+
+ private:
+  void mark(Key key) {
+    const std::size_t* p = pos_.find(key);
+    if (p != nullptr) remove_unmarked_at(*p);
+  }
+
+  void remove_unmarked_at(std::size_t i) {
+    const Key victim = unmarked_[i];
+    const Key last = unmarked_.back();
+    unmarked_[i] = last;
+    unmarked_.pop_back();
+    if (last != victim) pos_[last] = i;
+    pos_.erase(victim);
+  }
+
+  Xoshiro256 rng_;
+  Scorer scorer_;
+  double trust_;
+  std::vector<Key> unmarked_;
+  FlatMap<std::size_t> pos_;
+  std::uint64_t phases_ = 0;
+  std::uint64_t advised_evictions_ = 0;
+  std::uint64_t random_evictions_ = 0;
+};
+
+}  // namespace rdcn::paging

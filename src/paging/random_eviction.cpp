@@ -1,0 +1,5 @@
+#include "paging/random_eviction.hpp"
+
+namespace rdcn::paging {
+// Header-only implementation; TU anchors the vtable.
+}  // namespace rdcn::paging

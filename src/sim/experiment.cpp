@@ -1,0 +1,69 @@
+#include "sim/experiment.hpp"
+
+#include "sim/parallel_runner.hpp"
+#include "sim/simulator.hpp"
+
+namespace rdcn::sim {
+
+bool is_randomized(const std::string& algorithm) {
+  return algorithm == "r_bma";
+}
+
+std::vector<RunResult> run_experiment(const ExperimentConfig& config,
+                                      const trace::Trace& trace,
+                                      const std::vector<ExperimentSpec>& specs) {
+  RDCN_ASSERT_MSG(config.distances != nullptr, "config needs distances");
+  RDCN_ASSERT_MSG(!trace.empty(), "empty trace");
+
+  // Expand specs into independent (spec, trial) tasks.
+  struct Task {
+    std::size_t spec_index;
+    std::uint64_t seed;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const std::size_t reps =
+        is_randomized(specs[s].algorithm) ? config.trials : 1;
+    for (std::size_t t = 0; t < reps; ++t)
+      tasks.push_back({s, config.base_seed + t});
+  }
+
+  const std::vector<std::uint64_t> grid =
+      checkpoint_grid(trace.size(), config.checkpoints);
+
+  std::vector<RunResult> raw(tasks.size());
+  parallel_for(
+      tasks.size(),
+      [&](std::size_t i) {
+        const Task& task = tasks[i];
+        const ExperimentSpec& spec = specs[task.spec_index];
+        core::Instance instance;
+        instance.distances = config.distances;
+        instance.b = spec.b;
+        instance.a = config.a;
+        instance.alpha = config.alpha;
+
+        core::RBmaOptions rbma = spec.rbma;
+        rbma.seed = task.seed;
+        auto matcher = core::make_matcher(spec.algorithm, instance, &trace,
+                                          task.seed, &rbma);
+        RunResult r = run_simulation(*matcher, trace, grid);
+        r.seed = task.seed;
+        r.algorithm = spec.display();
+        raw[i] = std::move(r);
+      },
+      config.threads);
+
+  // Group by spec and average.
+  std::vector<RunResult> out;
+  out.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::vector<RunResult> group;
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      if (tasks[i].spec_index == s) group.push_back(raw[i]);
+    out.push_back(average_runs(group));
+  }
+  return out;
+}
+
+}  // namespace rdcn::sim

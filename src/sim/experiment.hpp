@@ -1,0 +1,53 @@
+// rdcn: parameter-sweep experiment driver.
+//
+// Encodes the paper's methodology (§3.1): a fixed trace, a set of
+// algorithm/b combinations, each randomized combination repeated `trials`
+// times with distinct seeds and averaged.  Trials run in parallel (each
+// trial owns its matcher and RNG stream); deterministic algorithms run a
+// single trial since repetition would be a no-op.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/r_bma.hpp"
+#include "net/distance_matrix.hpp"
+#include "sim/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::sim {
+
+struct ExperimentSpec {
+  std::string algorithm;  ///< factory name: r_bma | bma | greedy | oblivious | so_bma
+  std::size_t b = 1;
+  core::RBmaOptions rbma{};  ///< honored when algorithm == "r_bma"
+  std::string label;         ///< display label; default "<algorithm>(b=<b>)"
+
+  std::string display() const {
+    return !label.empty()
+               ? label
+               : algorithm + "(b=" + std::to_string(b) + ")";
+  }
+};
+
+struct ExperimentConfig {
+  const net::DistanceMatrix* distances = nullptr;
+  std::uint64_t alpha = 100;
+  std::size_t a = 0;          ///< offline degree bound (0 = same as b)
+  std::size_t checkpoints = 8;
+  std::size_t trials = 5;     ///< repetitions for randomized algorithms
+  std::uint64_t base_seed = 42;
+  std::size_t threads = 0;    ///< 0 = hardware concurrency
+};
+
+/// Whether an algorithm's behaviour depends on its seed.
+bool is_randomized(const std::string& algorithm);
+
+/// Runs every spec over `trace`; returns one (trial-averaged) RunResult per
+/// spec, in spec order.
+std::vector<RunResult> run_experiment(const ExperimentConfig& config,
+                                      const trace::Trace& trace,
+                                      const std::vector<ExperimentSpec>& specs);
+
+}  // namespace rdcn::sim

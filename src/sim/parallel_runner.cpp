@@ -1,0 +1,35 @@
+#include "sim/parallel_runner.hpp"
+
+#include <algorithm>
+
+namespace rdcn::sim {
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads) {
+  if (count == 0) return;
+  std::size_t workers = num_threads != 0
+                            ? num_threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, count);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace rdcn::sim

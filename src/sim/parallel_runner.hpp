@@ -1,0 +1,38 @@
+// rdcn: multi-threaded trial execution.
+//
+// The paper repeats every simulation five times and averages.  Trials are
+// embarrassingly parallel (each owns its matcher and RNG stream), so a
+// small work-stealing-free pool — an atomic cursor over a task vector —
+// extracts all the parallelism with no shared mutable state beyond the
+// cursor.  Per-trial results land in pre-sized slots, so no locking on the
+// result path either.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rdcn::sim {
+
+/// Runs fn(i) for i in [0, count) across up to `num_threads` threads
+/// (0 = hardware concurrency).  fn must be safe to call concurrently for
+/// distinct i.  Blocks until every task finished.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t num_threads = 0);
+
+/// Maps fn over [0, count) and collects results in index order.
+template <typename R>
+std::vector<R> parallel_map(std::size_t count,
+                            const std::function<R(std::size_t)>& fn,
+                            std::size_t num_threads = 0) {
+  std::vector<R> results(count);
+  parallel_for(
+      count, [&](std::size_t i) { results[i] = fn(i); }, num_threads);
+  return results;
+}
+
+}  // namespace rdcn::sim

@@ -1,0 +1,45 @@
+// rdcn: tabular reporters for experiment results.
+//
+// The bench binaries print the exact series the paper plots: one row per
+// checkpoint (x = #requests), one column per algorithm (y = routing cost
+// or execution time).  CSV writers emit the same data for re-plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace rdcn::sim {
+
+/// Which y-value a table reports.
+enum class Metric {
+  kRoutingCost,
+  kTotalCost,
+  kWallSeconds,
+  kMatchingSize,
+  kDirectFraction,
+  kReconfigCost,
+};
+
+std::string metric_name(Metric metric);
+
+double metric_value(const Checkpoint& c, Metric metric);
+
+/// Pretty-prints a fixed-width table: header = algorithm labels, one row
+/// per checkpoint.  All results must share a checkpoint grid.
+void print_table(std::ostream& out, const std::vector<RunResult>& results,
+                 Metric metric, const std::string& title);
+
+/// Machine-readable CSV of the same table.
+void write_csv(std::ostream& out, const std::vector<RunResult>& results,
+               Metric metric);
+
+/// One-line summary per result: final cost, reduction vs the given
+/// baseline result (the paper quotes "routing cost reduction of up to 35%"
+/// against Oblivious), wall time.
+void print_summary(std::ostream& out, const std::vector<RunResult>& results,
+                   const RunResult& baseline);
+
+}  // namespace rdcn::sim

@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/stopwatch.hpp"
+
+namespace rdcn::sim {
+
+std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
+                                           std::size_t points) {
+  RDCN_ASSERT(points >= 1 && total_requests >= points);
+  std::vector<std::uint64_t> grid;
+  grid.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    grid.push_back(total_requests * i / points);
+  }
+  return grid;
+}
+
+RunResult run_simulation(core::OnlineBMatcher& matcher,
+                         const trace::Trace& trace,
+                         std::vector<std::uint64_t> checkpoints) {
+  RDCN_ASSERT_MSG(!checkpoints.empty(), "need at least one checkpoint");
+  RDCN_ASSERT_MSG(std::is_sorted(checkpoints.begin(), checkpoints.end()),
+                  "checkpoints must be increasing");
+  checkpoints.back() = std::min<std::uint64_t>(checkpoints.back(),
+                                               trace.size());
+
+  RunResult result;
+  result.algorithm = matcher.name();
+  result.trace_name = trace.name();
+  result.b = matcher.instance().b;
+  result.checkpoints.reserve(checkpoints.size());
+
+  Stopwatch watch;
+  watch.reset();
+  std::size_t next_cp = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    matcher.serve(trace[i]);
+    const std::uint64_t served = i + 1;
+    while (next_cp < checkpoints.size() && served == checkpoints[next_cp]) {
+      watch.pause();
+      const core::CostStats& costs = matcher.costs();
+      Checkpoint c;
+      c.requests = served;
+      c.routing_cost = costs.routing_cost;
+      c.reconfig_cost = costs.reconfig_cost;
+      c.total_cost = costs.total_cost();
+      c.direct_serves = costs.direct_serves;
+      c.edge_adds = costs.edge_adds;
+      c.edge_removals = costs.edge_removals;
+      c.matching_size = matcher.matching().size();
+      c.wall_seconds = watch.seconds();
+      result.checkpoints.push_back(c);
+      ++next_cp;
+      watch.resume();
+    }
+    if (next_cp >= checkpoints.size()) break;
+  }
+  RDCN_ASSERT_MSG(next_cp == checkpoints.size(),
+                  "trace shorter than checkpoint grid");
+  return result;
+}
+
+RunResult run_to_completion(core::OnlineBMatcher& matcher,
+                            const trace::Trace& trace) {
+  return run_simulation(matcher, trace, {trace.size()});
+}
+
+}  // namespace rdcn::sim

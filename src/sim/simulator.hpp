@@ -1,0 +1,33 @@
+// rdcn: the request-driven simulator.
+//
+// Feeds a trace through an online matcher one request at a time, exactly as
+// the model prescribes (serve with current matching, then reconfigure), and
+// snapshots cumulative costs at a checkpoint grid.  Wall-clock measurement
+// covers only the serve() loop — trace generation, checkpointing, and
+// reporting are excluded, mirroring the paper's execution-time methodology.
+#pragma once
+
+#include <vector>
+
+#include "core/online_matcher.hpp"
+#include "sim/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::sim {
+
+/// Evenly spaced checkpoint grid: `points` checkpoints ending exactly at
+/// `total_requests`.
+std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
+                                           std::size_t points);
+
+/// Runs `matcher` (already reset/fresh) over `trace`.  `checkpoints` must
+/// be strictly increasing; the last entry is clamped to the trace length.
+RunResult run_simulation(core::OnlineBMatcher& matcher,
+                         const trace::Trace& trace,
+                         std::vector<std::uint64_t> checkpoints);
+
+/// Convenience: single final checkpoint only.
+RunResult run_to_completion(core::OnlineBMatcher& matcher,
+                            const trace::Trace& trace);
+
+}  // namespace rdcn::sim

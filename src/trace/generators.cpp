@@ -1,0 +1,269 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/flat_hash.hpp"
+
+namespace rdcn::trace {
+
+namespace {
+
+Request random_pair(std::size_t num_racks, Xoshiro256& rng) {
+  const Rack u = static_cast<Rack>(rng.next_below(num_racks));
+  Rack v = static_cast<Rack>(rng.next_below(num_racks - 1));
+  if (v >= u) ++v;
+  return Request::make(u, v);
+}
+
+/// Samples `count` distinct rack pairs uniformly at random.
+std::vector<Request> sample_distinct_pairs(std::size_t num_racks,
+                                           std::size_t count,
+                                           Xoshiro256& rng) {
+  const std::size_t all = num_racks * (num_racks - 1) / 2;
+  RDCN_ASSERT_MSG(count <= all, "more candidate pairs than exist");
+  std::vector<Request> pairs;
+  pairs.reserve(count);
+  FlatSet seen(count);
+  while (pairs.size() < count) {
+    const Request r = random_pair(num_racks, rng);
+    if (seen.insert(pair_key(r))) pairs.push_back(r);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Trace generate_uniform(std::size_t num_racks, std::size_t num_requests,
+                       Xoshiro256& rng) {
+  RDCN_ASSERT(num_racks >= 2);
+  Trace t(num_racks, "uniform");
+  t.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i)
+    t.push_back(random_pair(num_racks, rng));
+  return t;
+}
+
+Trace generate_zipf_pairs(std::size_t num_racks, std::size_t num_requests,
+                          double skew, Xoshiro256& rng) {
+  RDCN_ASSERT(num_racks >= 2);
+  // Rank all pairs by a random permutation, then draw ranks from Zipf(s).
+  std::vector<Request> pairs;
+  pairs.reserve(num_racks * (num_racks - 1) / 2);
+  for (Rack u = 0; u < num_racks; ++u)
+    for (Rack v = u + 1; v < num_racks; ++v)
+      pairs.push_back(Request{u, v});
+  shuffle(pairs.begin(), pairs.end(), rng);
+  const ZipfSampler zipf(pairs.size(), skew);
+
+  Trace t(num_racks, "zipf");
+  t.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i)
+    t.push_back(pairs[zipf(rng)]);
+  return t;
+}
+
+Trace generate_hotspot(std::size_t num_racks, std::size_t num_requests,
+                       double hot_fraction, double hot_share,
+                       Xoshiro256& rng) {
+  RDCN_ASSERT(num_racks >= 4);
+  RDCN_ASSERT(hot_fraction > 0.0 && hot_fraction < 1.0);
+  RDCN_ASSERT(hot_share >= 0.0 && hot_share <= 1.0);
+  const std::size_t num_hot =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(hot_fraction * num_racks)));
+  std::vector<Rack> racks(num_racks);
+  for (std::size_t i = 0; i < num_racks; ++i) racks[i] = static_cast<Rack>(i);
+  shuffle(racks.begin(), racks.end(), rng);
+  // racks[0..num_hot) are the hotspots.
+
+  Trace t(num_racks, "hotspot");
+  t.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    if (rng.next_bool(hot_share) && num_hot >= 1) {
+      // One endpoint hot, the other uniform.
+      const Rack h = racks[rng.next_below(num_hot)];
+      Rack o = static_cast<Rack>(rng.next_below(num_racks - 1));
+      if (o >= h) ++o;
+      t.push_back(Request::make(h, o));
+    } else {
+      t.push_back(random_pair(num_racks, rng));
+    }
+  }
+  return t;
+}
+
+Trace generate_permutation(std::size_t num_racks, std::size_t num_requests,
+                           Xoshiro256& rng) {
+  RDCN_ASSERT(num_racks >= 2 && num_racks % 2 == 0);
+  std::vector<Rack> perm(num_racks);
+  for (std::size_t i = 0; i < num_racks; ++i) perm[i] = static_cast<Rack>(i);
+  shuffle(perm.begin(), perm.end(), rng);
+  // Pair consecutive entries of the shuffled list.
+  std::vector<Request> pairs;
+  pairs.reserve(num_racks / 2);
+  for (std::size_t i = 0; i + 1 < num_racks; i += 2)
+    pairs.push_back(Request::make(perm[i], perm[i + 1]));
+
+  Trace t(num_racks, "permutation");
+  t.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i)
+    t.push_back(pairs[rng.next_below(pairs.size())]);
+  return t;
+}
+
+Trace generate_flow_pool(std::size_t num_racks, std::size_t num_requests,
+                         const FlowPoolParams& params, Xoshiro256& rng) {
+  RDCN_ASSERT(num_racks >= 2);
+  RDCN_ASSERT(params.candidate_pairs >= 1);
+  RDCN_ASSERT(params.mean_burst_length >= 1.0);
+  RDCN_ASSERT(params.max_active_flows >= 1);
+
+  const std::size_t all_pairs = num_racks * (num_racks - 1) / 2;
+  const std::size_t num_candidates =
+      std::min(params.candidate_pairs, all_pairs);
+
+  // Optional hub structure: designate hot racks and bias candidate
+  // endpoints toward them.
+  std::vector<Rack> hubs;
+  if (params.hub_fraction > 0.0) {
+    const std::size_t num_hubs = std::max<std::size_t>(
+        2, static_cast<std::size_t>(params.hub_fraction *
+                                    static_cast<double>(num_racks)));
+    std::vector<Rack> racks(num_racks);
+    for (std::size_t i = 0; i < num_racks; ++i)
+      racks[i] = static_cast<Rack>(i);
+    shuffle(racks.begin(), racks.end(), rng);
+    hubs.assign(racks.begin(),
+                racks.begin() + static_cast<std::ptrdiff_t>(num_hubs));
+  }
+  auto sample_endpoint = [&]() -> Rack {
+    if (!hubs.empty() && rng.next_bool(params.hub_bias))
+      return hubs[rng.next_below(hubs.size())];
+    return static_cast<Rack>(rng.next_below(num_racks));
+  };
+  auto sample_candidate = [&]() -> Request {
+    while (true) {
+      const Rack u = sample_endpoint();
+      const Rack v = sample_endpoint();
+      if (u != v) return Request::make(u, v);
+    }
+  };
+
+  std::vector<Request> candidates;
+  if (hubs.empty()) {
+    candidates = sample_distinct_pairs(num_racks, num_candidates, rng);
+  } else {
+    candidates.reserve(num_candidates);
+    FlatSet seen(num_candidates);
+    std::size_t attempts = 0;
+    while (candidates.size() < num_candidates) {
+      const Request r = sample_candidate();
+      // Hub-biased sampling can exhaust the hub-pair universe; give up on
+      // distinctness after enough rejections and allow duplicates (they
+      // merely deepen the skew).
+      if (seen.insert(pair_key(r)) || ++attempts > 50 * num_candidates) {
+        candidates.push_back(r);
+      }
+    }
+  }
+  const ZipfSampler zipf(num_candidates, params.zipf_skew);
+  // P(burst continues) chosen so the mean geometric length matches.
+  const double p_end = 1.0 / params.mean_burst_length;
+
+  struct Flow {
+    Request pair;
+    std::size_t remaining;
+  };
+  std::vector<Flow> active;
+  active.reserve(params.max_active_flows);
+
+  auto spawn_flow = [&] {
+    const Request pair = candidates[zipf(rng)];
+    const std::size_t len = 1 + sample_geometric(rng, p_end);
+    active.push_back({pair, len});
+  };
+
+  Trace t(num_racks, "flow_pool");
+  t.reserve(num_requests);
+  std::size_t emitted = 0;
+  while (emitted < num_requests) {
+    // Working-set drift: refresh part of the candidate set periodically.
+    if (params.drift_period > 0 && emitted > 0 &&
+        emitted % params.drift_period == 0) {
+      const std::size_t refresh = static_cast<std::size_t>(
+          params.drift_fraction * static_cast<double>(num_candidates));
+      for (std::size_t r = 0; r < refresh; ++r) {
+        const std::size_t slot = rng.next_below(num_candidates);
+        candidates[slot] = hubs.empty() ? random_pair(num_racks, rng)
+                                        : sample_candidate();
+      }
+    }
+
+    if (params.noise_fraction > 0.0 &&
+        rng.next_bool(params.noise_fraction)) {
+      t.push_back(random_pair(num_racks, rng));
+      ++emitted;
+      continue;
+    }
+    if (active.empty() ||
+        (active.size() < params.max_active_flows &&
+         rng.next_bool(params.new_flow_prob))) {
+      spawn_flow();
+    }
+    const std::size_t i = rng.next_below(active.size());
+    t.push_back(active[i].pair);
+    ++emitted;
+    if (--active[i].remaining == 0) {
+      active[i] = active.back();
+      active.pop_back();
+    }
+  }
+  return t;
+}
+
+Trace generate_elephant_mice(std::size_t num_racks, std::size_t num_requests,
+                             std::size_t num_elephants, double elephant_share,
+                             double mean_run_length, Xoshiro256& rng) {
+  RDCN_ASSERT(num_racks >= 2);
+  RDCN_ASSERT(num_elephants >= 1);
+  RDCN_ASSERT(elephant_share >= 0.0 && elephant_share <= 1.0);
+  RDCN_ASSERT(mean_run_length >= 1.0);
+  const std::vector<Request> elephants =
+      sample_distinct_pairs(num_racks, num_elephants, rng);
+  const double p_end = 1.0 / mean_run_length;
+
+  Trace t(num_racks, "elephant_mice");
+  t.reserve(num_requests);
+  std::size_t emitted = 0;
+  while (emitted < num_requests) {
+    if (rng.next_bool(elephant_share)) {
+      // Elephant run: one heavy pair, geometric run length.
+      const Request e = elephants[rng.next_below(num_elephants)];
+      std::size_t run = 1 + sample_geometric(rng, p_end);
+      while (run-- > 0 && emitted < num_requests) {
+        t.push_back(e);
+        ++emitted;
+      }
+    } else {
+      t.push_back(random_pair(num_racks, rng));
+      ++emitted;
+    }
+  }
+  return t;
+}
+
+Trace generate_round_robin_star(std::size_t num_racks,
+                                std::size_t num_requests, std::size_t k) {
+  RDCN_ASSERT(num_racks >= k + 2);
+  RDCN_ASSERT(k >= 1);
+  Trace t(num_racks, "round_robin_star");
+  t.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const Rack other = static_cast<Rack>(1 + (i % (k + 1)));
+    t.push_back(Request::make(0, other));
+  }
+  return t;
+}
+
+}  // namespace rdcn::trace

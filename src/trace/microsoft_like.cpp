@@ -1,0 +1,86 @@
+#include "trace/microsoft_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdcn::trace {
+
+std::vector<double> make_microsoft_matrix(std::size_t num_racks,
+                                          const MicrosoftParams& params,
+                                          Xoshiro256& rng) {
+  RDCN_ASSERT(num_racks >= 2);
+  // Per-rack activity weights: power law over a random rack permutation.
+  std::vector<double> activity(num_racks);
+  std::vector<std::size_t> rank(num_racks);
+  for (std::size_t i = 0; i < num_racks; ++i) rank[i] = i;
+  shuffle(rank.begin(), rank.end(), rng);
+  for (std::size_t i = 0; i < num_racks; ++i)
+    activity[i] =
+        1.0 / std::pow(static_cast<double>(rank[i] + 1), params.rack_skew);
+
+  // Gravity model: weight(u,v) proportional to activity(u) * activity(v).
+  std::vector<double> w(num_racks * num_racks, 0.0);
+  for (std::size_t u = 0; u < num_racks; ++u)
+    for (std::size_t v = u + 1; v < num_racks; ++v)
+      w[u * num_racks + v] = activity[u] * activity[v];
+
+  // Elephant entries: lift a few random off-diagonal cells to a fixed
+  // multiple of the MEAN cell weight.  (An absolute lift, not a
+  // multiplicative one: multiplying the already-heaviest gravity cells
+  // would let a single pair dominate the whole matrix.)
+  double mean_cell = 0.0;
+  const std::size_t num_cells = num_racks * (num_racks - 1) / 2;
+  for (std::size_t u = 0; u < num_racks; ++u)
+    for (std::size_t v = u + 1; v < num_racks; ++v)
+      mean_cell += w[u * num_racks + v];
+  mean_cell /= static_cast<double>(num_cells);
+  for (std::size_t e = 0; e < params.num_elephants; ++e) {
+    const std::size_t u = rng.next_below(num_racks);
+    std::size_t v = rng.next_below(num_racks - 1);
+    if (v >= u) ++v;
+    const std::size_t lo = u < v ? u : v, hi = u < v ? v : u;
+    w[lo * num_racks + hi] =
+        std::max(w[lo * num_racks + hi], params.elephant_boost * mean_cell);
+  }
+
+  // Normalize over unordered pairs and mirror for convenience.
+  double total = 0.0;
+  for (std::size_t u = 0; u < num_racks; ++u)
+    for (std::size_t v = u + 1; v < num_racks; ++v)
+      total += w[u * num_racks + v];
+  RDCN_ASSERT(total > 0.0);
+  for (std::size_t u = 0; u < num_racks; ++u)
+    for (std::size_t v = u + 1; v < num_racks; ++v) {
+      w[u * num_racks + v] /= total;
+      w[v * num_racks + u] = w[u * num_racks + v];
+    }
+  return w;
+}
+
+Trace generate_microsoft_like(std::size_t num_racks,
+                              std::size_t num_requests,
+                              const MicrosoftParams& params,
+                              Xoshiro256& rng) {
+  const std::vector<double> matrix =
+      make_microsoft_matrix(num_racks, params, rng);
+
+  // Flatten unordered pairs for the alias sampler.
+  std::vector<double> weights;
+  std::vector<Request> pairs;
+  weights.reserve(num_racks * (num_racks - 1) / 2);
+  pairs.reserve(weights.capacity());
+  for (Rack u = 0; u < num_racks; ++u)
+    for (Rack v = u + 1; v < num_racks; ++v) {
+      weights.push_back(matrix[static_cast<std::size_t>(u) * num_racks + v]);
+      pairs.push_back(Request{u, v});
+    }
+  const AliasSampler sampler(weights);
+
+  Trace t(num_racks, "microsoft");
+  t.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i)
+    t.push_back(pairs[sampler(rng)]);
+  return t;
+}
+
+}  // namespace rdcn::trace

@@ -1,0 +1,67 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace rdcn::trace {
+
+void write_csv(const Trace& trace, std::ostream& out) {
+  out << "# racks=" << trace.num_racks() << " name=" << trace.name() << "\n";
+  for (const Request& r : trace) out << r.u << "," << r.v << "\n";
+}
+
+void write_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream f(path);
+  RDCN_ASSERT_MSG(f.good(), "cannot open trace file for writing");
+  write_csv(trace, f);
+}
+
+Trace read_csv(std::istream& in) {
+  std::string line;
+  std::size_t num_racks = 0;
+  std::string name = "imported";
+  std::vector<Request> requests;
+  std::size_t max_rack = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Parse "# racks=<n> name=<name>".
+      std::istringstream hdr(line.substr(1));
+      std::string tok;
+      while (hdr >> tok) {
+        if (tok.rfind("racks=", 0) == 0)
+          num_racks = static_cast<std::size_t>(std::stoull(tok.substr(6)));
+        else if (tok.rfind("name=", 0) == 0)
+          name = tok.substr(5);
+      }
+      continue;
+    }
+    const std::size_t comma = line.find(',');
+    RDCN_ASSERT_MSG(comma != std::string::npos, "malformed trace line");
+    const auto u = static_cast<Rack>(std::stoul(line.substr(0, comma)));
+    const auto v = static_cast<Rack>(std::stoul(line.substr(comma + 1)));
+    RDCN_ASSERT_MSG(u != v, "trace contains a self-loop request");
+    requests.push_back(Request::make(u, v));
+    max_rack = std::max<std::size_t>(max_rack, std::max(u, v));
+  }
+  if (num_racks == 0) num_racks = max_rack + 1;
+  RDCN_ASSERT_MSG(num_racks > max_rack, "rack id exceeds declared universe");
+
+  Trace t(num_racks, name);
+  t.reserve(requests.size());
+  for (const Request& r : requests) t.push_back(r);
+  return t;
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  RDCN_ASSERT_MSG(f.good(), "cannot open trace file for reading");
+  return read_csv(f);
+}
+
+}  // namespace rdcn::trace

@@ -1,0 +1,24 @@
+// rdcn: trace (de)serialization.
+//
+// CSV format, one request per line: "src,dst".  A leading comment header
+// ("# racks=<n> name=<name>") carries metadata.  The format is the least
+// common denominator for importing real traces (the open-sourced artifacts
+// of the paper use equivalent pair lists).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace rdcn::trace {
+
+void write_csv(const Trace& trace, std::ostream& out);
+void write_csv_file(const Trace& trace, const std::string& path);
+
+/// Throws via RDCN_ASSERT on malformed input.  If the header is missing,
+/// num_racks is inferred as max rack id + 1.
+Trace read_csv(std::istream& in);
+Trace read_csv_file(const std::string& path);
+
+}  // namespace rdcn::trace

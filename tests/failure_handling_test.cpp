@@ -1,0 +1,94 @@
+// Failure-injection tests: the library must fail loudly and immediately on
+// misuse (RDCN_ASSERT aborts), never silently corrupt an experiment.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+#include "net/topology.hpp"
+#include "paging/belady.hpp"
+#include "paging/factory.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+TEST(FailureHandling, UnknownMatcherNameAborts) {
+  const auto d = net::DistanceMatrix::uniform(4, 1);
+  core::Instance inst;
+  inst.distances = &d;
+  inst.b = 1;
+  EXPECT_DEATH(core::make_matcher("definitely_not_an_algorithm", inst),
+               "unknown matcher");
+}
+
+TEST(FailureHandling, SoBmaWithoutTraceAborts) {
+  const auto d = net::DistanceMatrix::uniform(4, 1);
+  core::Instance inst;
+  inst.distances = &d;
+  inst.b = 1;
+  EXPECT_DEATH(core::make_matcher("so_bma", inst, nullptr), "full trace");
+}
+
+TEST(FailureHandling, UnknownPagingEngineAborts) {
+  EXPECT_DEATH(paging::parse_engine("belady2"), "unknown paging engine");
+}
+
+TEST(FailureHandling, MalformedTraceLineAborts) {
+  std::stringstream in("0;1\n");
+  EXPECT_DEATH(trace::read_csv(in), "malformed");
+}
+
+TEST(FailureHandling, SelfLoopRequestAborts) {
+  std::stringstream in("3,3\n");
+  EXPECT_DEATH(trace::read_csv(in), "self-loop");
+}
+
+TEST(FailureHandling, RackIdBeyondDeclaredUniverseAborts) {
+  std::stringstream in("# racks=3 name=x\n0,7\n");
+  EXPECT_DEATH(trace::read_csv(in), "exceeds declared universe");
+}
+
+TEST(FailureHandling, MissingTraceFileAborts) {
+  EXPECT_DEATH(trace::read_csv_file("/nonexistent/rdcn/trace.csv"),
+               "cannot open");
+}
+
+TEST(FailureHandling, BeladyReplayDivergenceAborts) {
+  paging::Belady b(2, {1, 2, 3});
+  std::vector<paging::Key> ev;
+  b.request(1, ev);
+  EXPECT_DEATH(b.request(9, ev), "diverged");
+}
+
+TEST(FailureHandling, BeladyOverrunAborts) {
+  paging::Belady b(2, {1});
+  std::vector<paging::Key> ev;
+  b.request(1, ev);
+  EXPECT_DEATH(b.request(1, ev), "past its announced sequence");
+}
+
+TEST(FailureHandling, NonIncreasingCheckpointsAbort) {
+  const auto d = net::DistanceMatrix::uniform(4, 1);
+  core::Instance inst;
+  inst.distances = &d;
+  inst.b = 1;
+  auto m = core::make_matcher("oblivious", inst);
+  trace::Trace t(4, "x");
+  t.push_back(trace::Request::make(0, 1));
+  t.push_back(trace::Request::make(0, 1));
+  EXPECT_DEATH(sim::run_simulation(*m, t, {2, 1}), "increasing");
+}
+
+TEST(FailureHandling, DisconnectedTopologyAborts) {
+  // Distance matrix construction requires all racks reachable.
+  net::Graph g(4);
+  g.add_edge(0, 1);  // 2 and 3 isolated
+  g.finalize();
+  EXPECT_DEATH(net::DistanceMatrix(g, {0, 1, 2, 3}), "connect all racks");
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Tests for the command-line flag parser (common/flags.hpp).
+#include <gtest/gtest.h>
+
+#include "common/flags.hpp"
+
+namespace {
+
+using rdcn::Flags;
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  for (const char* a : args) argv.push_back(a);
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = parse({"--racks=100", "--alpha=60"});
+  EXPECT_EQ(f.get_uint("racks", 0), 100u);
+  EXPECT_EQ(f.get_uint("alpha", 0), 60u);
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = parse({"--racks", "50", "--name", "hello"});
+  EXPECT_EQ(f.get_uint("racks", 0), 50u);
+  EXPECT_EQ(f.get("name"), "hello");
+}
+
+TEST(Flags, BooleanFlagWithoutValue) {
+  const Flags f = parse({"--eager", "--racks=10"});
+  EXPECT_TRUE(f.get_bool("eager", false));
+  EXPECT_FALSE(f.get_bool("missing", false));
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get("x", "fallback"), "fallback");
+  EXPECT_EQ(f.get_int("n", -7), -7);
+  EXPECT_DOUBLE_EQ(f.get_double("d", 2.5), 2.5);
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const Flags f = parse({"--b=3", "--b=9"});
+  EXPECT_EQ(f.get_uint("b", 0), 9u);
+}
+
+TEST(Flags, ListParsing) {
+  const Flags f = parse({"--b=6,12,18", "--names=a,b"});
+  const auto b = f.get_uint_list("b");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 6u);
+  EXPECT_EQ(b[2], 18u);
+  const auto names = f.get_list("names");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[1], "b");
+  EXPECT_TRUE(f.get_list("absent").empty());
+}
+
+TEST(Flags, SingleElementList) {
+  const Flags f = parse({"--b=12"});
+  const auto b = f.get_uint_list("b");
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 12u);
+}
+
+TEST(Flags, Positionals) {
+  const Flags f = parse({"input.csv", "--x=1", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(Flags, UnknownFlagDetection) {
+  const Flags f = parse({"--good=1", "--bad=2"});
+  const auto unknown = f.unknown_flags({"good"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "bad");
+}
+
+TEST(Flags, DoubleAndNegativeValues) {
+  const Flags f = parse({"--skew=1.25", "--delta=-3"});
+  EXPECT_DOUBLE_EQ(f.get_double("skew", 0.0), 1.25);
+  EXPECT_EQ(f.get_int("delta", 0), -3);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Tests for the flow-level simulation substrate (src/flowsim) and the
+// shortest-path table (net/path_table.hpp).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/b_matching.hpp"
+#include "flowsim/fair_share.hpp"
+#include "flowsim/flow_simulator.hpp"
+#include "flowsim/network.hpp"
+#include "net/path_table.hpp"
+#include "net/topology.hpp"
+#include "trace/generators.hpp"
+
+namespace {
+
+using namespace rdcn;
+using namespace rdcn::flowsim;
+
+// ---------------------------------------------------------- PathTable ----
+
+TEST(PathTable, PathLengthsMatchDistanceMatrix) {
+  const net::Topology t = net::make_fat_tree(20);
+  const net::PathTable paths(t.graph, t.racks);
+  for (std::uint32_t a = 0; a < 20; ++a)
+    for (std::uint32_t b = 0; b < 20; ++b) {
+      if (a == b) {
+        EXPECT_TRUE(paths.path(a, b).empty());
+      } else {
+        EXPECT_EQ(paths.path(a, b).size(), t.distances(a, b));
+      }
+    }
+}
+
+TEST(PathTable, PathsAreContiguousEdgeSequences) {
+  const net::Topology t = net::make_fat_tree(12);
+  const net::PathTable paths(t.graph, t.racks);
+  const auto& edges = t.graph.edge_list();
+  for (std::uint32_t a = 0; a < 12; ++a) {
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      if (a == b) continue;
+      net::NodeId cur = t.racks[a];
+      for (net::EdgeId e : paths.path(a, b)) {
+        const auto& [u, v] = edges[e];
+        ASSERT_TRUE(u == cur || v == cur) << "path not contiguous";
+        cur = (u == cur) ? v : u;
+      }
+      EXPECT_EQ(cur, t.racks[b]);
+    }
+  }
+}
+
+// ---------------------------------------------------------- FairShare ----
+
+TEST(FairShare, SingleLinkEvenSplit) {
+  const std::vector<FlowRoute> flows = {{{0}}, {{0}}};
+  const auto rates = max_min_fair_rates(flows, {10.0});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(FairShare, ClassicTwoBottleneckExample) {
+  // L0 (cap 1): f0, f2.  L1 (cap 2): f1, f2.
+  // Bottleneck L0 -> f0 = f2 = 0.5; then f1 takes L1's residual 1.5.
+  const std::vector<FlowRoute> flows = {{{0}}, {{1}}, {{0, 1}}};
+  const auto rates = max_min_fair_rates(flows, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 1.5);
+}
+
+TEST(FairShare, EmptyRouteIsUnbounded) {
+  const std::vector<FlowRoute> flows = {{{}}, {{0}}};
+  const auto rates = max_min_fair_rates(flows, {4.0}, 999.0);
+  EXPECT_DOUBLE_EQ(rates[0], 999.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+}
+
+class FairShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareProperty, CapacityAndBottleneckConditionsHold) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t num_links = 2 + rng.next_below(10);
+  const std::size_t num_flows = 1 + rng.next_below(30);
+  std::vector<double> capacities(num_links);
+  for (auto& c : capacities) c = 1.0 + rng.next_double() * 9.0;
+  std::vector<FlowRoute> flows(num_flows);
+  for (auto& f : flows) {
+    const std::size_t hops = 1 + rng.next_below(4);
+    for (std::size_t h = 0; h < hops; ++h) {
+      const auto l = static_cast<std::uint32_t>(rng.next_below(num_links));
+      if (std::find(f.links.begin(), f.links.end(), l) == f.links.end())
+        f.links.push_back(l);
+    }
+  }
+  const auto rates = max_min_fair_rates(flows, capacities);
+
+  // 1. Feasibility: no link over capacity.
+  std::vector<double> load(num_links, 0.0);
+  for (std::size_t f = 0; f < num_flows; ++f)
+    for (std::uint32_t l : flows[f].links) load[l] += rates[f];
+  for (std::size_t l = 0; l < num_links; ++l)
+    EXPECT_LE(load[l], capacities[l] * (1.0 + 1e-9));
+
+  // 2. Max-min bottleneck condition: every flow crosses a saturated link
+  //    on which its rate is maximal.
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    EXPECT_GT(rates[f], 0.0);
+    bool has_bottleneck = false;
+    for (std::uint32_t l : flows[f].links) {
+      if (load[l] < capacities[l] * (1.0 - 1e-9)) continue;  // unsaturated
+      bool is_max = true;
+      for (std::size_t g = 0; g < num_flows; ++g) {
+        if (g == f) continue;
+        const bool crosses =
+            std::find(flows[g].links.begin(), flows[g].links.end(), l) !=
+            flows[g].links.end();
+        if (crosses && rates[g] > rates[f] * (1.0 + 1e-9)) is_max = false;
+      }
+      if (is_max) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck) << "flow " << f << " has no bottleneck";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FairShareProperty,
+                         ::testing::Range(0, 20));
+
+// -------------------------------------------------------- FlowNetwork ----
+
+TEST(FlowNetwork, OpticalLinkShortcutsMatchedPairs) {
+  const net::Topology topo = net::make_fat_tree(12);
+  core::BMatching m(12, 2);
+  m.add(0, 7);
+  const FlowNetwork net(topo, m, 10.0, 25.0);
+  EXPECT_EQ(net.num_optical_links(), 1u);
+  EXPECT_EQ(net.route(0, 7).links.size(), 1u);
+  EXPECT_EQ(net.route_hops(0, 7), 1u);
+  // Unmatched pair follows the fabric path.
+  EXPECT_EQ(net.route_hops(0, 5), topo.distances(0, 5));
+  // The optical link has the optical capacity.
+  EXPECT_DOUBLE_EQ(net.capacities().back(), 25.0);
+}
+
+// ------------------------------------------------------ FlowSimulator ----
+
+TEST(FlowSimulator, SingleFlowFinishesAtSizeOverCapacity) {
+  const net::Topology topo = net::make_star(4);
+  core::BMatching m(4, 1);
+  const FlowNetwork net(topo, m, 10.0, 10.0);
+  // Star rack pair: 2 hops of capacity 10 -> rate 10.
+  const SimulationResult r =
+      simulate_flows(net, {{0, 1, 50.0, 0.0}});
+  EXPECT_NEAR(r.flows[0].duration, 5.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 5.0, 1e-9);
+  EXPECT_EQ(r.flows[0].hops, 2u);
+}
+
+TEST(FlowSimulator, TwoFlowsShareABottleneck) {
+  const net::Topology topo = net::make_star(4);
+  core::BMatching m(4, 1);
+  const FlowNetwork net(topo, m, 10.0, 10.0);
+  // Both flows traverse rack 0's uplink: rate 5 each, finish at 10.
+  const SimulationResult r = simulate_flows(
+      net, {{0, 1, 50.0, 0.0}, {0, 2, 50.0, 0.0}});
+  EXPECT_NEAR(r.flows[0].duration, 10.0, 1e-6);
+  EXPECT_NEAR(r.flows[1].duration, 10.0, 1e-6);
+}
+
+TEST(FlowSimulator, LateArrivalDoesNotSeeFinishedFlows) {
+  const net::Topology topo = net::make_star(4);
+  core::BMatching m(4, 1);
+  const FlowNetwork net(topo, m, 10.0, 10.0);
+  const SimulationResult r = simulate_flows(
+      net, {{0, 1, 50.0, 0.0}, {0, 1, 50.0, 100.0}});
+  EXPECT_NEAR(r.flows[0].duration, 5.0, 1e-9);
+  EXPECT_NEAR(r.flows[1].duration, 5.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 105.0, 1e-9);
+}
+
+TEST(FlowSimulator, OpticalShortcutImprovesCompletionTime) {
+  const net::Topology topo = net::make_fat_tree(16);
+  Xoshiro256 rng(5);
+  // Heavy pair (0, 9) plus background noise.
+  trace::Trace t(16, "flows");
+  for (int i = 0; i < 300; ++i) {
+    if (i % 2 == 0) {
+      t.push_back(trace::Request::make(0, 9));
+    } else {
+      t.push_back(trace::Request::make(
+          static_cast<trace::Rack>(rng.next_below(8)),
+          static_cast<trace::Rack>(8 + rng.next_below(8))));
+    }
+  }
+  const auto specs = flows_from_trace(t, 25.0, 2.0);
+
+  core::BMatching none(16, 2);
+  core::BMatching matched(16, 2);
+  matched.add(0, 9);
+  const FlowNetwork base(topo, none, 10.0, 10.0);
+  const FlowNetwork optical(topo, matched, 10.0, 10.0);
+
+  const SimulationResult r0 = simulate_flows(base, specs);
+  const SimulationResult r1 = simulate_flows(optical, specs);
+  EXPECT_LT(r1.mean_fct, r0.mean_fct);
+  EXPECT_LT(r1.bandwidth_tax, r0.bandwidth_tax);
+  EXPECT_GE(r1.aggregate_throughput, r0.aggregate_throughput * 0.99);
+}
+
+TEST(FlowSimulator, BandwidthTaxMatchesHopAverage) {
+  const net::Topology topo = net::make_star(5);
+  core::BMatching m(5, 1);
+  m.add(0, 1);
+  const FlowNetwork net(topo, m, 10.0, 10.0);
+  // Flow over optical (1 hop) and flow over fabric (2 hops), equal sizes:
+  // tax = (1 + 2) / 2 = 1.5.
+  const SimulationResult r = simulate_flows(
+      net, {{0, 1, 10.0, 0.0}, {2, 3, 10.0, 0.0}});
+  EXPECT_NEAR(r.bandwidth_tax, 1.5, 1e-12);
+}
+
+TEST(FlowSimulator, TraceConversionPreservesOrderAndTiming) {
+  trace::Trace t(4, "x");
+  t.push_back(trace::Request::make(0, 1));
+  t.push_back(trace::Request::make(2, 3));
+  const auto specs = flows_from_trace(t, 7.0, 4.0);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].src, 0u);
+  EXPECT_DOUBLE_EQ(specs[0].arrival_time, 0.0);
+  EXPECT_DOUBLE_EQ(specs[1].arrival_time, 0.25);
+  EXPECT_DOUBLE_EQ(specs[1].size, 7.0);
+}
+
+}  // namespace

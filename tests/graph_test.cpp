@@ -1,0 +1,102 @@
+// Unit tests for the graph substrate (net/graph.hpp, net/distance_matrix.hpp).
+#include <gtest/gtest.h>
+
+#include "net/distance_matrix.hpp"
+#include "net/graph.hpp"
+
+namespace {
+
+using namespace rdcn::net;
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  g.finalize();
+  return g;
+}
+
+TEST(Graph, CsrAdjacencyMatchesEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+  bool saw1 = false, saw2 = false;
+  for (NodeId w : g.neighbors(0)) {
+    saw1 |= (w == 1);
+    saw2 |= (w == 2);
+  }
+  EXPECT_TRUE(saw1 && saw2);
+}
+
+TEST(Graph, BfsOnPathGivesLinearDistances) {
+  const Graph g = path_graph(6);
+  std::vector<std::uint16_t> dist;
+  g.bfs(0, dist);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(dist[i], i);
+  g.bfs(3, dist);
+  EXPECT_EQ(dist[0], 3);
+  EXPECT_EQ(dist[5], 2);
+}
+
+TEST(Graph, BfsMarksUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  std::vector<std::uint16_t> dist;
+  g.bfs(0, dist);
+  EXPECT_EQ(dist[2], Graph::kUnreachable);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, ConnectedOnConnectedGraph) {
+  EXPECT_TRUE(path_graph(10).connected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g(0);
+  g.finalize();
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(DistanceMatrix, MatchesBfsOnPath) {
+  const Graph g = path_graph(5);
+  std::vector<NodeId> racks = {0, 2, 4};
+  const DistanceMatrix d(g, racks);
+  EXPECT_EQ(d.num_racks(), 3u);
+  EXPECT_EQ(d(0, 1), 2);  // node 0 -> node 2
+  EXPECT_EQ(d(0, 2), 4);  // node 0 -> node 4
+  EXPECT_EQ(d(1, 2), 2);
+  EXPECT_EQ(d(0, 0), 0);
+  EXPECT_EQ(d.max_distance(), 4);
+}
+
+TEST(DistanceMatrix, Symmetry) {
+  const Graph g = path_graph(7);
+  std::vector<NodeId> racks = {0, 1, 3, 6};
+  const DistanceMatrix d(g, racks);
+  for (std::uint32_t i = 0; i < 4; ++i)
+    for (std::uint32_t j = 0; j < 4; ++j) EXPECT_EQ(d(i, j), d(j, i));
+}
+
+TEST(DistanceMatrix, UniformFactory) {
+  const DistanceMatrix d = DistanceMatrix::uniform(5, 1);
+  for (std::uint32_t i = 0; i < 5; ++i)
+    for (std::uint32_t j = 0; j < 5; ++j)
+      EXPECT_EQ(d(i, j), i == j ? 0 : 1);
+  EXPECT_EQ(d.max_distance(), 1);
+  EXPECT_DOUBLE_EQ(d.mean_distance(), 1.0);
+}
+
+TEST(DistanceMatrix, MeanDistanceOfPathPair) {
+  const Graph g = path_graph(2);
+  const DistanceMatrix d(g, {0, 1});
+  EXPECT_DOUBLE_EQ(d.mean_distance(), 1.0);
+}
+
+}  // namespace

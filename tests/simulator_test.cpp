@@ -1,0 +1,135 @@
+// Tests for the simulation engine (sim/simulator.hpp, sim/metrics.hpp).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/factory.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace {
+
+using namespace rdcn;
+using namespace rdcn::sim;
+
+core::Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
+                             std::uint64_t alpha) {
+  core::Instance inst;
+  inst.distances = &d;
+  inst.b = b;
+  inst.alpha = alpha;
+  return inst;
+}
+
+TEST(CheckpointGrid, EvenAndEndsAtTotal) {
+  const auto g = checkpoint_grid(1000, 4);
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_EQ(g[0], 250u);
+  EXPECT_EQ(g[1], 500u);
+  EXPECT_EQ(g[2], 750u);
+  EXPECT_EQ(g[3], 1000u);
+}
+
+TEST(CheckpointGrid, RoundingNeverSkipsTheEnd) {
+  const auto g = checkpoint_grid(10, 3);
+  EXPECT_EQ(g.back(), 10u);
+  for (std::size_t i = 1; i < g.size(); ++i) EXPECT_GT(g[i], g[i - 1]);
+}
+
+TEST(Simulator, CheckpointsAreCumulativeAndMonotone) {
+  const net::Topology topo = net::make_fat_tree(16);
+  Xoshiro256 rng(1);
+  const trace::Trace t = trace::generate_zipf_pairs(16, 8000, 1.0, rng);
+  auto matcher = core::make_matcher("r_bma", make_instance(topo.distances, 3, 8),
+                                    &t, 5);
+  const RunResult r = run_simulation(*matcher, t, checkpoint_grid(t.size(), 8));
+  ASSERT_EQ(r.checkpoints.size(), 8u);
+  for (std::size_t i = 1; i < 8; ++i) {
+    const Checkpoint& prev = r.checkpoints[i - 1];
+    const Checkpoint& cur = r.checkpoints[i];
+    EXPECT_GT(cur.requests, prev.requests);
+    EXPECT_GE(cur.routing_cost, prev.routing_cost);
+    EXPECT_GE(cur.reconfig_cost, prev.reconfig_cost);
+    EXPECT_GE(cur.wall_seconds, prev.wall_seconds);
+    EXPECT_EQ(cur.total_cost, cur.routing_cost + cur.reconfig_cost);
+  }
+  EXPECT_EQ(r.final().requests, t.size());
+}
+
+TEST(Simulator, MatchesManualServeLoop) {
+  const net::Topology topo = net::make_fat_tree(12);
+  Xoshiro256 rng(2);
+  const trace::Trace t = trace::generate_uniform(12, 3000, rng);
+  const core::Instance inst = make_instance(topo.distances, 2, 6);
+
+  auto a = core::make_matcher("bma", inst, &t, 1);
+  const RunResult r = run_to_completion(*a, t);
+
+  auto b = core::make_matcher("bma", inst, &t, 1);
+  for (const core::Request& req : t) b->serve(req);
+
+  EXPECT_EQ(r.final().routing_cost, b->costs().routing_cost);
+  EXPECT_EQ(r.final().reconfig_cost, b->costs().reconfig_cost);
+  EXPECT_EQ(r.final().matching_size, b->matching().size());
+}
+
+TEST(Simulator, ObliviousCostIsSumOfDistances) {
+  const net::Topology topo = net::make_fat_tree(12);
+  Xoshiro256 rng(3);
+  const trace::Trace t = trace::generate_uniform(12, 2000, rng);
+  auto matcher =
+      core::make_matcher("oblivious", make_instance(topo.distances, 2, 6), &t, 1);
+  const RunResult r = run_to_completion(*matcher, t);
+  std::uint64_t expected = 0;
+  for (const core::Request& req : t) expected += topo.distances(req.u, req.v);
+  EXPECT_EQ(r.final().routing_cost, expected);
+  EXPECT_EQ(r.final().reconfig_cost, 0u);
+}
+
+TEST(Metrics, AverageRunsIsExactForIdenticalRuns) {
+  const net::Topology topo = net::make_fat_tree(12);
+  Xoshiro256 rng(4);
+  const trace::Trace t = trace::generate_uniform(12, 2000, rng);
+  const core::Instance inst = make_instance(topo.distances, 2, 6);
+  auto m1 = core::make_matcher("bma", inst, &t, 1);
+  auto m2 = core::make_matcher("bma", inst, &t, 1);
+  const RunResult r1 = run_simulation(*m1, t, checkpoint_grid(t.size(), 4));
+  const RunResult r2 = run_simulation(*m2, t, checkpoint_grid(t.size(), 4));
+  const RunResult avg = average_runs({r1, r2});
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(avg.checkpoints[p].routing_cost,
+              r1.checkpoints[p].routing_cost);
+    EXPECT_EQ(avg.checkpoints[p].total_cost, r1.checkpoints[p].total_cost);
+  }
+}
+
+TEST(Metrics, AverageRunsMeansDifferentSeeds) {
+  RunResult a, b;
+  a.algorithm = b.algorithm = "x";
+  Checkpoint ca, cb;
+  ca.requests = cb.requests = 100;
+  ca.routing_cost = 10;
+  cb.routing_cost = 20;
+  ca.total_cost = 10;
+  cb.total_cost = 20;
+  a.checkpoints = {ca};
+  b.checkpoints = {cb};
+  const RunResult avg = average_runs({a, b});
+  EXPECT_EQ(avg.checkpoints[0].routing_cost, 15u);
+}
+
+TEST(Metrics, SummarizeTotalCostEnvelope) {
+  RunResult a, b;
+  Checkpoint ca, cb;
+  ca.requests = cb.requests = 10;
+  ca.total_cost = 5;
+  cb.total_cost = 9;
+  a.checkpoints = {ca};
+  b.checkpoints = {cb};
+  const SeriesSummary s = summarize_total_cost({a, b});
+  EXPECT_DOUBLE_EQ(s.mean[0], 7.0);
+  EXPECT_DOUBLE_EQ(s.lo[0], 5.0);
+  EXPECT_DOUBLE_EQ(s.hi[0], 9.0);
+}
+
+}  // namespace

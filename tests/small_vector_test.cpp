@@ -1,0 +1,109 @@
+// Unit tests for SmallVector (common/small_vector.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/small_vector.hpp"
+
+namespace {
+
+using rdcn::SmallVector;
+
+TEST(SmallVector, StartsEmptyWithInlineCapacity) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushBackWithinInline) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVector, SpillsToHeapPreservingContents) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, InitializerList) {
+  SmallVector<int, 4> v = {1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVector, CopySemantics) {
+  SmallVector<int, 2> v = {1, 2, 3, 4};  // heap-backed
+  SmallVector<int, 2> copy(v);
+  EXPECT_EQ(copy.size(), 4u);
+  copy[0] = 99;
+  EXPECT_EQ(v[0], 1);  // deep copy
+  v = copy;
+  EXPECT_EQ(v[0], 99);
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const int* data = v.data();
+  SmallVector<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.data(), data);  // buffer stolen, no copy
+  EXPECT_EQ(moved.size(), 50u);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(SmallVector, MoveInlineCopies) {
+  SmallVector<int, 8> v = {7, 8};
+  SmallVector<int, 8> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], 7);
+}
+
+TEST(SmallVector, SwapEraseIsO1AndUnordered) {
+  SmallVector<int, 8> v = {10, 20, 30, 40};
+  v.swap_erase(1);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 40);  // last element moved in
+}
+
+TEST(SmallVector, EraseValueRemovesFirstOccurrence) {
+  SmallVector<int, 8> v = {5, 6, 7};
+  EXPECT_TRUE(v.erase_value(6));
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FALSE(v.contains(6));
+  EXPECT_FALSE(v.erase_value(6));
+}
+
+TEST(SmallVector, ContainsAndBack) {
+  SmallVector<std::uint32_t, 4> v = {3, 1, 4};
+  EXPECT_TRUE(v.contains(4));
+  EXPECT_FALSE(v.contains(9));
+  EXPECT_EQ(v.back(), 4u);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 1u);
+}
+
+TEST(SmallVector, ClearKeepsCapacity) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVector, RangeForIteration) {
+  SmallVector<int, 4> v = {1, 2, 3, 4, 5};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 15);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Round-trip and format tests for trace CSV I/O (trace/trace_io.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace rdcn;
+using namespace rdcn::trace;
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  Xoshiro256 rng(1);
+  const Trace original = generate_uniform(15, 500, rng);
+  std::stringstream buffer;
+  write_csv(original, buffer);
+  const Trace loaded = read_csv(buffer);
+  EXPECT_EQ(loaded.num_racks(), original.num_racks());
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(TraceIo, HeaderCarriesMetadata) {
+  Trace t(9, "myname");
+  t.push_back(Request::make(1, 2));
+  std::stringstream buffer;
+  write_csv(t, buffer);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("# racks=9 name=myname"), std::string::npos);
+}
+
+TEST(TraceIo, MissingHeaderInfersUniverse) {
+  std::stringstream in("0,5\n3,4\n");
+  const Trace t = read_csv(in);
+  EXPECT_EQ(t.num_racks(), 6u);  // max id 5 -> 6 racks
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], Request::make(0, 5));
+}
+
+TEST(TraceIo, NormalizesPairOrder) {
+  std::stringstream in("7,2\n");
+  const Trace t = read_csv(in);
+  EXPECT_EQ(t[0].u, 2u);
+  EXPECT_EQ(t[0].v, 7u);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream in("# racks=4 name=x\n\n0,1\n\n2,3\n");
+  const Trace t = read_csv(in);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Xoshiro256 rng(2);
+  const Trace original = generate_uniform(8, 100, rng);
+  const std::string path = ::testing::TempDir() + "/rdcn_trace_test.csv";
+  write_csv_file(original, path);
+  const Trace loaded = read_csv_file(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]);
+}
+
+}  // namespace
