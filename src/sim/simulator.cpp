@@ -22,7 +22,7 @@ RunResult run_simulation(core::OnlineBMatcher& matcher,
                          std::vector<std::uint64_t> checkpoints) {
   RDCN_ASSERT_MSG(!checkpoints.empty(), "need at least one checkpoint");
   RDCN_ASSERT_MSG(std::is_sorted(checkpoints.begin(), checkpoints.end()),
-                  "checkpoints must be increasing");
+                  "checkpoints must be non-decreasing");
   checkpoints.back() = std::min<std::uint64_t>(checkpoints.back(),
                                                trace.size());
 
@@ -35,24 +35,34 @@ RunResult run_simulation(core::OnlineBMatcher& matcher,
   Stopwatch watch;
   watch.reset();
   std::size_t next_cp = 0;
+  const auto snapshot = [&](std::uint64_t served) {
+    const core::CostStats& costs = matcher.costs();
+    Checkpoint c;
+    c.requests = served;
+    c.routing_cost = costs.routing_cost;
+    c.reconfig_cost = costs.reconfig_cost;
+    c.total_cost = costs.total_cost();
+    c.direct_serves = costs.direct_serves;
+    c.edge_adds = costs.edge_adds;
+    c.edge_removals = costs.edge_removals;
+    c.matching_size = matcher.matching().size();
+    c.wall_seconds = watch.seconds();
+    result.checkpoints.push_back(c);
+    ++next_cp;
+  };
+  // A checkpoint at 0 snapshots the pre-trace state; this is also how an
+  // empty trace yields a (zero-cost) ledger instead of tripping the
+  // grid-exhaustion assert below.
+  while (next_cp < checkpoints.size() && checkpoints[next_cp] == 0) {
+    snapshot(0);
+  }
+  if (next_cp >= checkpoints.size()) return result;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     matcher.serve(trace[i]);
     const std::uint64_t served = i + 1;
     while (next_cp < checkpoints.size() && served == checkpoints[next_cp]) {
       watch.pause();
-      const core::CostStats& costs = matcher.costs();
-      Checkpoint c;
-      c.requests = served;
-      c.routing_cost = costs.routing_cost;
-      c.reconfig_cost = costs.reconfig_cost;
-      c.total_cost = costs.total_cost();
-      c.direct_serves = costs.direct_serves;
-      c.edge_adds = costs.edge_adds;
-      c.edge_removals = costs.edge_removals;
-      c.matching_size = matcher.matching().size();
-      c.wall_seconds = watch.seconds();
-      result.checkpoints.push_back(c);
-      ++next_cp;
+      snapshot(served);
       watch.resume();
     }
     if (next_cp >= checkpoints.size()) break;

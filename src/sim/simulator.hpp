@@ -21,7 +21,10 @@ std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
                                            std::size_t points);
 
 /// Runs `matcher` (already reset/fresh) over `trace`.  `checkpoints` must
-/// be strictly increasing; the last entry is clamped to the trace length.
+/// be non-decreasing; the last entry is clamped to the trace length.  A
+/// checkpoint of 0 snapshots the pre-trace (zero-cost) state, which is
+/// also how an empty trace yields a ledger.  No request beyond the last
+/// checkpoint is served.
 RunResult run_simulation(core::OnlineBMatcher& matcher,
                          const trace::Trace& trace,
                          std::vector<std::uint64_t> checkpoints);

@@ -11,20 +11,14 @@
 #include "core/r_bma.hpp"
 #include "net/distance_matrix.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 /// Mean R-BMA cost over `seeds` runs on one trace.
 double mean_rbma_cost(const Instance& inst, const trace::Trace& t,

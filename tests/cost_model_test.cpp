@@ -5,20 +5,14 @@
 #include "core/cost_model.hpp"
 #include "net/topology.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(CostModel, ObliviousIsSumOfDistances) {
   const auto d = net::DistanceMatrix::uniform(5, 3);

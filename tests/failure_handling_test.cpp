@@ -80,7 +80,7 @@ TEST(FailureHandling, NonIncreasingCheckpointsAbort) {
   trace::Trace t(4, "x");
   t.push_back(trace::Request::make(0, 1));
   t.push_back(trace::Request::make(0, 1));
-  EXPECT_DEATH(sim::run_simulation(*m, t, {2, 1}), "increasing");
+  EXPECT_DEATH(sim::run_simulation(*m, t, {2, 1}), "non-decreasing");
 }
 
 TEST(FailureHandling, DisconnectedTopologyAborts) {

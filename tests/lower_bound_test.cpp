@@ -12,20 +12,14 @@
 #include "core/r_bma.hpp"
 #include "net/topology.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 // Lemma 1 embedding: a paging request to item i becomes a block of α
 // requests to the star pair {hub=0, i}.

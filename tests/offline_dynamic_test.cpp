@@ -7,21 +7,14 @@
 #include "core/so_bma.hpp"
 #include "net/topology.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha, std::size_t a = 0) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.a = a;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(OfflineDynamic, WindowCountMatchesTraceLength) {
   const net::Topology topo = net::make_fat_tree(16);

@@ -10,21 +10,14 @@
 #include "core/opt_small.hpp"
 #include "net/distance_matrix.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha, std::size_t a = 0) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.a = a;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(OptSmall, SinglePairNeverWorthMatchingWhenTraceShort) {
   // One request to a pair at distance 3, α = 100: OPT routes it (cost 3).

@@ -11,6 +11,7 @@
 #include "paging/marking.hpp"
 #include "paging/predictive_marking.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
@@ -150,14 +151,7 @@ TEST(PredictiveMarking, PerfectAdviceBeatsPlainMarkingTowardBelady) {
 // R-BMA in learning-augmented mode.
 // ---------------------------------------------------------------------
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(PredictiveRBma, OracleAdviceReducesRoutingCost) {
   const net::Topology topo = net::make_fat_tree(24);

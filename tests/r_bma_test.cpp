@@ -11,20 +11,14 @@
 #include "net/topology.hpp"
 #include "trace/facebook_like.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(RBma, UniformCaseEveryRequestIsSpecial) {
   // α = 1, ℓe = 1 -> ke = 1: the pure Theorem 2 regime.

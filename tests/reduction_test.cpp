@@ -10,20 +10,14 @@
 #include "net/topology.hpp"
 #include "trace/generators.hpp"
 #include "trace/stats.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(Reduction, SpecialCountMatchesKePerPair) {
   // For each pair e requested n_e times, the number of special requests is

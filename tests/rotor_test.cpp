@@ -7,20 +7,14 @@
 #include "core/rotor.hpp"
 #include "net/topology.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(Rotor, ScheduleCoversAllPairsForEvenN) {
   const auto d = net::DistanceMatrix::uniform(8, 2);

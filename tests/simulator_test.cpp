@@ -6,19 +6,51 @@
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::sim;
 
-core::Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                             std::uint64_t alpha) {
-  core::Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
+using rdcn::testing::make_instance;
+
+TEST(RunSimulation, EmptyTraceYieldsZeroLedger) {
+  const net::Topology topo = net::make_fat_tree(8);
+  const trace::Trace t(8, "empty");
+  auto alg = core::make_matcher("bma", make_instance(topo.distances, 2, 5));
+  const RunResult r = run_to_completion(*alg, t);
+  ASSERT_EQ(r.checkpoints.size(), 1u);
+  EXPECT_EQ(r.final().requests, 0u);
+  EXPECT_EQ(r.final().total_cost, 0u);
+  EXPECT_EQ(r.final().matching_size, 0u);
+}
+
+TEST(RunSimulation, CheckpointAtZeroSnapshotsPreTraceState) {
+  const net::Topology topo = net::make_fat_tree(8);
+  Xoshiro256 rng(3);
+  const trace::Trace t = trace::generate_uniform(8, 100, rng);
+  auto alg = core::make_matcher("bma", make_instance(topo.distances, 2, 5));
+  const RunResult r = run_simulation(*alg, t, {0, t.size()});
+  ASSERT_EQ(r.checkpoints.size(), 2u);
+  EXPECT_EQ(r.checkpoints[0].requests, 0u);
+  EXPECT_EQ(r.checkpoints[0].total_cost, 0u);
+  EXPECT_EQ(r.checkpoints[1].requests, t.size());
+  EXPECT_GT(r.checkpoints[1].total_cost, 0u);
+}
+
+TEST(RunSimulation, GridEndingAtZeroServesNothing) {
+  // The grid bounds the run: once every checkpoint is emitted, no further
+  // request may mutate the matcher.
+  const net::Topology topo = net::make_fat_tree(8);
+  Xoshiro256 rng(4);
+  const trace::Trace t = trace::generate_uniform(8, 100, rng);
+  auto alg = core::make_matcher("bma", make_instance(topo.distances, 2, 5));
+  const RunResult r = run_simulation(*alg, t, {0});
+  ASSERT_EQ(r.checkpoints.size(), 1u);
+  EXPECT_EQ(r.final().requests, 0u);
+  EXPECT_EQ(alg->costs().requests, 0u);
+  EXPECT_EQ(alg->costs().total_cost(), 0u);
 }
 
 TEST(CheckpointGrid, EvenAndEndsAtTotal) {

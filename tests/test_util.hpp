@@ -1,0 +1,25 @@
+// Shared helpers for the rdcn test suites.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "net/distance_matrix.hpp"
+
+namespace rdcn::testing {
+
+/// Builds a core::Instance over `d` with online degree bound b,
+/// reconfiguration cost α, and optional offline degree bound a (0 = "a=b").
+/// `d` must outlive the returned instance (it is captured by pointer).
+inline core::Instance make_instance(const net::DistanceMatrix& d,
+                                    std::size_t b, std::uint64_t alpha,
+                                    std::size_t a = 0) {
+  core::Instance inst;
+  inst.distances = &d;
+  inst.b = b;
+  inst.a = a;
+  inst.alpha = alpha;
+  return inst;
+}
+
+}  // namespace rdcn::testing

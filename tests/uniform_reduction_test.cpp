@@ -11,20 +11,14 @@
 #include "net/topology.hpp"
 #include "trace/facebook_like.hpp"
 #include "trace/generators.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace rdcn;
 using namespace rdcn::core;
 
-Instance make_instance(const net::DistanceMatrix& d, std::size_t b,
-                       std::uint64_t alpha) {
-  Instance inst;
-  inst.distances = &d;
-  inst.b = b;
-  inst.alpha = alpha;
-  return inst;
-}
+using rdcn::testing::make_instance;
 
 TEST(UniformReduction, FusedRBmaEqualsComposedRBma) {
   // The fused implementation (R-BMA) and the generic composition
