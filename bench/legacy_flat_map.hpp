@@ -1,0 +1,109 @@
+// Pre-overhaul FlatMap (untagged, key-sentinel-only probing), preserved
+// verbatim as the comparison point for the micro_substrates churn bench:
+// the "old vs tagged layout" numbers in BENCH output refer to this class
+// vs rdcn::FlatMap.  Bench-only — nothing in src/ may include this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash.hpp"  // for detail::mix64
+
+namespace rdcn::bench {
+
+/// The seed-commit FlatMap: one {key, value} slot array, linear probing on
+/// the full slots, backward-shift deletion, no tag array.
+template <typename V>
+class LegacyFlatMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  LegacyFlatMap() { rehash(16); }
+
+  std::size_t size() const noexcept { return size_; }
+
+  V& operator[](std::uint64_t key) {
+    maybe_grow();
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (slots_[i].key == key) return slots_[i].value;
+      if (slots_[i].key == kEmptyKey) {
+        slots_[i].key = key;
+        slots_[i].value = V{};
+        ++size_;
+        return slots_[i].value;
+      }
+      i = next(i);
+    }
+  }
+
+  V* find(std::uint64_t key) noexcept {
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      if (slots_[i].key == kEmptyKey) return nullptr;
+      i = next(i);
+    }
+  }
+
+  bool erase(std::uint64_t key) noexcept {
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (slots_[i].key == kEmptyKey) return false;
+      if (slots_[i].key == key) break;
+      i = next(i);
+    }
+    std::size_t hole = i;
+    std::size_t j = next(i);
+    while (slots_[j].key != kEmptyKey) {
+      const std::size_t home = probe_start(slots_[j].key);
+      const bool movable = (hole <= j) ? (home <= hole || home > j)
+                                       : (home <= hole && home > j);
+      if (movable) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+      j = next(j);
+    }
+    slots_[hole].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  std::size_t probe_start(std::uint64_t key) const noexcept {
+    return detail::mix64(key) & mask_;
+  }
+  std::size_t next(std::size_t i) const noexcept { return (i + 1) & mask_; }
+
+  void maybe_grow() {
+    if (size_ * 4 >= slots_.size() * 3) rehash(slots_.size() * 2);
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (auto& s : old) {
+      if (s.key == kEmptyKey) continue;
+      std::size_t i = probe_start(s.key);
+      while (slots_[i].key != kEmptyKey) i = next(i);
+      slots_[i] = std::move(s);
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rdcn::bench

@@ -5,11 +5,62 @@
 
 #include <unordered_map>
 
+#include "legacy_flat_map.hpp"
 #include "rdcn.hpp"
 
 namespace {
 
 using namespace rdcn;
+
+// Mixed insert/erase/find churn over a bounded key space — the access
+// pattern of the matching algorithms' per-pair maps.  Run for the tagged
+// FlatMap, the pre-overhaul untagged layout, and std::unordered_map.
+template <typename Map>
+void churn_mix(benchmark::State& state) {
+  Xoshiro256 rng(12);
+  Map map;
+  for (auto _ : state) {
+    const std::uint64_t k = 1 + rng.next_below(1 << 14);
+    switch (rng.next_below(4)) {
+      case 0:
+        map[k] = k;
+        break;
+      case 1:
+        map.erase(k);
+        break;
+      default:
+        benchmark::DoNotOptimize(map.find(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  churn_mix<FlatMap<std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatMapChurn);
+
+void BM_LegacyFlatMapChurn(benchmark::State& state) {
+  churn_mix<bench::LegacyFlatMap<std::uint64_t>>(state);
+}
+BENCHMARK(BM_LegacyFlatMapChurn);
+
+void BM_StdUnorderedChurn(benchmark::State& state) {
+  churn_mix<std::unordered_map<std::uint64_t, std::uint64_t>>(state);
+}
+BENCHMARK(BM_StdUnorderedChurn);
+
+// Miss-heavy lookups are where the tag array pays off: a miss scans tags
+// only (64 per cache line) instead of the wide slot array.
+void BM_FlatMapLookupMiss(benchmark::State& state) {
+  Xoshiro256 rng(13);
+  FlatMap<std::uint64_t> map;
+  for (std::uint64_t k = 1; k <= (1 << 16); ++k) map[k] = k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find((1 << 20) + rng.next_below(1 << 16)));
+  }
+}
+BENCHMARK(BM_FlatMapLookupMiss);
 
 void BM_FlatMapUpsert(benchmark::State& state) {
   Xoshiro256 rng(1);

@@ -1,0 +1,278 @@
+// Perf-regression gate for the request path.
+//
+// Replays fixed-seed Facebook-like and Microsoft-like traces through
+// BMA / R-BMA / SO-BMA / greedy / oblivious at b ∈ {4, 16, 64} and
+//
+//   1. asserts every cost ledger is bit-identical to the golden anchors
+//      captured from the pre-overhaul implementation (the determinism
+//      contract: layout/scheduling optimizations must never change a
+//      ledger), and
+//   2. measures single-thread requests/sec per combination (best of
+//      `reps` runs) and emits machine-readable BENCH_request_path.json,
+//      including the recorded pre-overhaul BMA baseline so the speedup
+//      trajectory is tracked in-repo.
+//
+// Exit code: non-zero on any ledger mismatch; with --strict also when the
+// BMA geomean speedup falls below the 1.5x target (perf checks default to
+// report-only because CI machines share cores).
+//
+// Usage: perf_gate [--out=FILE] [--reps=N] [--strict]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdcn.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+constexpr std::size_t kRacks = 100;
+constexpr std::size_t kRequests = 200'000;
+constexpr std::uint64_t kAlpha = 60;
+constexpr std::uint64_t kSeed = 42;
+const std::size_t kCacheSizes[] = {4, 16, 64};
+
+// Golden cost ledgers captured from the pre-overhaul implementation (seed
+// commit) with the exact trace/instance parameters above.  Every entry is
+// {routing_cost, reconfig_cost, edge_adds, edge_removals}.
+struct Golden {
+  const char* trace;
+  const char* algorithm;
+  std::size_t b;
+  std::uint64_t routing_cost;
+  std::uint64_t reconfig_cost;
+  std::uint64_t edge_adds;
+  std::uint64_t edge_removals;
+};
+
+constexpr Golden kGolden[] = {
+    {"facebook_db", "bma", 4, 527334ull, 557400ull, 4727ull, 4563ull},
+    {"facebook_db", "r_bma", 4, 467907ull, 604740ull, 5116ull, 4963ull},
+    {"facebook_db", "so_bma", 4, 516230ull, 11940ull, 199ull, 0ull},
+    {"facebook_db", "greedy", 4, 647421ull, 11940ull, 199ull, 0ull},
+    {"facebook_db", "oblivious", 4, 761170ull, 0ull, 0ull, 0ull},
+    {"facebook_db", "bma", 16, 424419ull, 264240ull, 2570ull, 1834ull},
+    {"facebook_db", "r_bma", 16, 385508ull, 197280ull, 2013ull, 1275ull},
+    {"facebook_db", "so_bma", 16, 388057ull, 47880ull, 798ull, 0ull},
+    {"facebook_db", "greedy", 16, 517462ull, 47880ull, 798ull, 0ull},
+    {"facebook_db", "oblivious", 16, 761170ull, 0ull, 0ull, 0ull},
+    {"facebook_db", "bma", 64, 372821ull, 96240ull, 1604ull, 0ull},
+    {"facebook_db", "r_bma", 64, 372821ull, 96240ull, 1604ull, 0ull},
+    {"facebook_db", "so_bma", 64, 242711ull, 191460ull, 3191ull, 0ull},
+    {"facebook_db", "greedy", 64, 328084ull, 191760ull, 3196ull, 0ull},
+    {"facebook_db", "oblivious", 64, 761170ull, 0ull, 0ull, 0ull},
+    {"microsoft", "bma", 4, 588408ull, 886320ull, 7421ull, 7351ull},
+    {"microsoft", "r_bma", 4, 636482ull, 1178700ull, 9855ull, 9790ull},
+    {"microsoft", "so_bma", 4, 565490ull, 11880ull, 198ull, 0ull},
+    {"microsoft", "greedy", 4, 641626ull, 11940ull, 199ull, 0ull},
+    {"microsoft", "oblivious", 4, 778026ull, 0ull, 0ull, 0ull},
+    {"microsoft", "bma", 16, 434822ull, 474780ull, 4068ull, 3845ull},
+    {"microsoft", "r_bma", 16, 485035ull, 842940ull, 7155ull, 6894ull},
+    {"microsoft", "so_bma", 16, 412398ull, 46680ull, 778ull, 0ull},
+    {"microsoft", "greedy", 16, 495069ull, 47340ull, 789ull, 0ull},
+    {"microsoft", "oblivious", 16, 778026ull, 0ull, 0ull, 0ull},
+    {"microsoft", "bma", 64, 310802ull, 133800ull, 1544ull, 686ull},
+    {"microsoft", "r_bma", 64, 319109ull, 249360ull, 2507ull, 1649ull},
+    {"microsoft", "so_bma", 64, 244624ull, 168060ull, 2801ull, 0ull},
+    {"microsoft", "greedy", 64, 273810ull, 176940ull, 2949ull, 0ull},
+    {"microsoft", "oblivious", 64, 778026ull, 0ull, 0ull, 0ull},
+};
+
+// Pre-overhaul BMA single-thread throughput on the Facebook-like trace
+// (requests/sec, best of 3, recorded at the seed commit on the reference
+// machine).  The 1.5x acceptance target is measured against these.
+struct BaselineRps {
+  std::size_t b;
+  double rps;
+};
+constexpr BaselineRps kBmaFacebookBaseline[] = {
+    {4, 9209421.0},
+    {16, 5368510.0},
+    {64, 4080064.0},
+};
+
+struct Measurement {
+  std::string trace;
+  std::string algorithm;
+  std::size_t b = 0;
+  double rps = 0.0;
+  sim::Checkpoint final;
+};
+
+const Golden* find_golden(const std::string& trace, const std::string& algo,
+                          std::size_t b) {
+  for (const Golden& g : kGolden) {
+    if (trace == g.trace && algo == g.algorithm && b == g.b) return &g;
+  }
+  return nullptr;
+}
+
+bool check_ledger(const Measurement& m) {
+  const Golden* g = find_golden(m.trace, m.algorithm, m.b);
+  if (g == nullptr) {
+    std::printf("LEDGER-CHECK %s/%s/b=%zu: no golden anchor\n",
+                m.trace.c_str(), m.algorithm.c_str(), m.b);
+    return false;
+  }
+  const bool ok = m.final.routing_cost == g->routing_cost &&
+                  m.final.reconfig_cost == g->reconfig_cost &&
+                  m.final.edge_adds == g->edge_adds &&
+                  m.final.edge_removals == g->edge_removals;
+  if (!ok) {
+    std::printf(
+        "LEDGER-CHECK %s/%s/b=%zu: MISMATCH got "
+        "{routing=%llu reconfig=%llu adds=%llu removals=%llu} want "
+        "{routing=%llu reconfig=%llu adds=%llu removals=%llu}\n",
+        m.trace.c_str(), m.algorithm.c_str(), m.b,
+        (unsigned long long)m.final.routing_cost,
+        (unsigned long long)m.final.reconfig_cost,
+        (unsigned long long)m.final.edge_adds,
+        (unsigned long long)m.final.edge_removals,
+        (unsigned long long)g->routing_cost,
+        (unsigned long long)g->reconfig_cost,
+        (unsigned long long)g->edge_adds,
+        (unsigned long long)g->edge_removals);
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_request_path.json";
+  int reps = 5;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr, "usage: perf_gate [--out=FILE] [--reps=N] [--strict]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  const net::Topology topo = net::make_fat_tree(kRacks);
+  Xoshiro256 fb_rng(2023);
+  const trace::Trace fb = trace::generate_facebook_like(
+      trace::FacebookCluster::kDatabase, kRacks, kRequests, fb_rng);
+  Xoshiro256 ms_rng(2024);
+  const trace::Trace ms =
+      trace::generate_microsoft_like(kRacks, kRequests, {}, ms_rng);
+
+  const char* algorithms[] = {"bma", "r_bma", "so_bma", "greedy",
+                              "oblivious"};
+  std::vector<Measurement> results;
+  bool ledgers_ok = true;
+
+  for (const trace::Trace* t : {&fb, &ms}) {
+    const std::string trace_name = t == &fb ? "facebook_db" : "microsoft";
+    for (const std::size_t b : kCacheSizes) {
+      core::Instance inst;
+      inst.distances = &topo.distances;
+      inst.b = b;
+      inst.alpha = kAlpha;
+      for (const char* algo : algorithms) {
+        auto matcher = core::make_matcher(algo, inst, t, kSeed);
+        Measurement m;
+        m.trace = trace_name;
+        m.algorithm = algo;
+        m.b = b;
+        double best = 1e100;
+        for (int rep = 0; rep < reps; ++rep) {
+          if (rep > 0) matcher->reset();
+          const sim::RunResult r = sim::run_to_completion(*matcher, *t);
+          if (r.final().wall_seconds < best) best = r.final().wall_seconds;
+          m.final = r.final();
+        }
+        m.rps = static_cast<double>(kRequests) / best;
+        ledgers_ok = check_ledger(m) && ledgers_ok;
+        results.push_back(m);
+        std::printf("%-12s %-10s b=%-3zu %10.0f req/s\n", trace_name.c_str(),
+                    algo, b, m.rps);
+      }
+    }
+  }
+
+  // BMA speedup vs the recorded pre-overhaul baseline (Facebook trace).
+  double geomean = 1.0;
+  std::vector<std::pair<std::size_t, double>> speedups;
+  for (const BaselineRps& base : kBmaFacebookBaseline) {
+    for (const Measurement& m : results) {
+      if (m.trace == "facebook_db" && m.algorithm == "bma" && m.b == base.b) {
+        const double s = m.rps / base.rps;
+        speedups.emplace_back(base.b, s);
+        geomean *= s;
+      }
+    }
+  }
+  geomean = std::pow(geomean, 1.0 / static_cast<double>(speedups.size()));
+  for (const auto& [b, s] : speedups) {
+    std::printf("PERF bma facebook_db b=%zu speedup vs baseline: %.2fx\n", b,
+                s);
+  }
+  std::printf("PERF bma facebook_db geomean speedup: %.2fx (target 1.50x): %s\n",
+              geomean, geomean >= 1.5 ? "PASS" : "FAIL");
+  std::printf("LEDGER-CHECK all 30 anchors: %s\n",
+              ledgers_ok ? "PASS" : "FAIL");
+
+  // Machine-readable output (schema documented in bench/README.md).
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"request_path\",\n";
+  json << "  \"config\": {\"racks\": " << kRacks
+       << ", \"requests\": " << kRequests << ", \"alpha\": " << kAlpha
+       << ", \"seed\": " << kSeed << ", \"reps\": " << reps
+       << ", \"threads\": 1},\n";
+  json << "  \"baseline\": {\"description\": \"pre-overhaul BMA req/s, "
+          "facebook_db trace, seed commit\", \"bma_facebook_db\": {";
+  for (std::size_t i = 0; i < std::size(kBmaFacebookBaseline); ++i) {
+    json << (i != 0 ? ", " : "") << "\"" << kBmaFacebookBaseline[i].b
+         << "\": " << kBmaFacebookBaseline[i].rps;
+  }
+  json << "}},\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"trace\": \"%s\", \"algorithm\": \"%s\", \"b\": %zu, "
+                  "\"requests_per_sec\": %.0f, \"routing_cost\": %llu, "
+                  "\"reconfig_cost\": %llu, \"total_cost\": %llu}%s\n",
+                  m.trace.c_str(), m.algorithm.c_str(), m.b, m.rps,
+                  (unsigned long long)m.final.routing_cost,
+                  (unsigned long long)m.final.reconfig_cost,
+                  (unsigned long long)m.final.total_cost,
+                  i + 1 < results.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ],\n  \"bma_speedup_vs_baseline\": {";
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s\"%zu\": %.3f", i != 0 ? ", " : "",
+                  speedups[i].first, speedups[i].second);
+    json << buf;
+  }
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ", \"geomean\": %.3f", geomean);
+    json << buf;
+  }
+  json << "},\n  \"ledger_check\": \"" << (ledgers_ok ? "pass" : "fail")
+       << "\"\n}\n";
+  json.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!ledgers_ok) return 1;
+  if (strict && geomean < 1.5) return 1;
+  return 0;
+}

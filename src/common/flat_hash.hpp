@@ -1,15 +1,31 @@
 // rdcn: open-addressing hash containers keyed by 64-bit integers.
 //
-// The matching algorithms keep one counter per *node pair* that has ever
+// The matching algorithms keep one record per *node pair* that has ever
 // been requested; on multi-hundred-thousand-request traces this map is the
 // hottest data structure in the simulator.  std::unordered_map's
 // node-per-entry layout is cache-hostile, so we provide a flat,
 // linear-probing map with tombstone-free backward-shift deletion.
 //
+// Tagged layout (TurboHash-style cell/tag probing): occupancy and a 7-bit
+// hash fingerprint live in a *separate* contiguous 1-byte tag array, so a
+// probe sequence walks densely packed tags (64 per cache line) and touches
+// the wide {key, value} slot array only when a tag matches.  With 7
+// fingerprint bits a tag hit is a true key match ~127/128 of the time, so
+// a lookup typically costs one tag-line read plus one slot read.
+//
+// Tag invariants:
+//   * tags_[i] == kEmptyTag (0)  ⇔  slot i is unoccupied; the key/value in
+//     an unoccupied slot are unspecified and must never be read;
+//   * occupied tags have the high bit set (0x80 | top 7 bits of the mixed
+//     hash), so they can never collide with kEmptyTag;
+//   * backward-shift deletion moves tags in lockstep with slots, so there
+//     are no tombstones and the two arrays always agree.
+//
 // Keys are required to be != kEmptyKey (0xFFFF'FFFF'FFFF'FFFF), which edge
 // ids never are (see core/types.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -33,7 +49,7 @@ inline std::uint64_t mix64(std::uint64_t k) noexcept {
 
 }  // namespace detail
 
-/// Flat hash map from std::uint64_t to V with linear probing.
+/// Flat hash map from std::uint64_t to V with tagged linear probing.
 ///
 /// Deletion uses backward shifting, so lookup never scans tombstones and
 /// the table stays dense under churn (matching edges are added and removed
@@ -54,33 +70,45 @@ class FlatMap {
   bool empty() const noexcept { return size_ == 0; }
 
   void clear() {
-    for (auto& s : slots_) s.key = kEmptyKey;
+    std::fill(tags_.begin(), tags_.end(), kEmptyTag);
+    for (auto& s : slots_) s.key = kEmptyKey;  // key-scrub invariant
     size_ = 0;
   }
 
-  /// Returns the value for `key`, default-constructing it if absent.
-  V& operator[](std::uint64_t key) {
+  /// Single-probe upsert: returns {pointer to value, inserted?}; the value
+  /// is default-constructed when newly inserted.
+  std::pair<V*, bool> try_emplace(std::uint64_t key) {
     RDCN_DCHECK(key != kEmptyKey);
     maybe_grow();
-    std::size_t i = probe_start(key);
+    const std::uint64_t h = detail::mix64(key);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t i = h & mask_;
     while (true) {
-      if (slots_[i].key == key) return slots_[i].value;
-      if (slots_[i].key == kEmptyKey) {
+      const std::uint8_t t = tags_[i];
+      if (t == tag && slots_[i].key == key) return {&slots_[i].value, false};
+      if (t == kEmptyTag) {
+        tags_[i] = tag;
         slots_[i].key = key;
         slots_[i].value = V{};
         ++size_;
-        return slots_[i].value;
+        return {&slots_[i].value, true};
       }
       i = next(i);
     }
   }
 
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& operator[](std::uint64_t key) { return *try_emplace(key).first; }
+
   /// Returns nullptr if absent.
   V* find(std::uint64_t key) noexcept {
-    std::size_t i = probe_start(key);
+    const std::uint64_t h = detail::mix64(key);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t i = h & mask_;
     while (true) {
-      if (slots_[i].key == key) return &slots_[i].value;
-      if (slots_[i].key == kEmptyKey) return nullptr;
+      const std::uint8_t t = tags_[i];
+      if (t == tag && slots_[i].key == key) return &slots_[i].value;
+      if (t == kEmptyTag) return nullptr;
       i = next(i);
     }
   }
@@ -92,18 +120,60 @@ class FlatMap {
     return find(key) != nullptr;
   }
 
+  /// Sentinel for "no cached slot" (see find_index / at_index).
+  /// Out-of-range values (including kNoSlot truncated to any width) simply
+  /// fail at_index validation, so callers may store indexes narrowed to
+  /// uint32 as long as the table stays below 2^32 slots.
+  static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+  /// Like find(), but returns the slot index of `key` (kNoSlot if absent).
+  /// The index stays valid until a rehash, or until a backward-shifting
+  /// erase displaces the entry — callers must therefore treat it as a
+  /// *hint* and re-validate through at_index().
+  std::size_t find_index(std::uint64_t key) const noexcept {
+    const std::uint64_t h = detail::mix64(key);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t i = h & mask_;
+    while (true) {
+      const std::uint8_t t = tags_[i];
+      if (t == tag && slots_[i].key == key) return i;
+      if (t == kEmptyTag) return kNoSlot;
+      i = next(i);
+    }
+  }
+
+  /// Validated O(1) access through a cached slot index: returns the value
+  /// iff `index` currently holds `key` (i.e. the hint is still fresh),
+  /// nullptr otherwise — never a stale or deleted entry, because
+  /// unoccupied slots always carry kEmptyKey (see the key-scrub invariant
+  /// in erase/clear/rehash), so a single key compare decides validity.
+  /// This skips the hash mix and probe walk entirely, which is what makes
+  /// BMA's Θ(b) eviction scan cheap: the scan caches one slot index per
+  /// incident matching edge.
+  V* at_index(std::size_t index, std::uint64_t key) noexcept {
+    RDCN_DCHECK(key != kEmptyKey);
+    if (index > mask_ || slots_[index].key != key) return nullptr;
+    return &slots_[index].value;
+  }
+  const V* at_index(std::size_t index, std::uint64_t key) const noexcept {
+    return const_cast<FlatMap*>(this)->at_index(index, key);
+  }
+
   /// Removes `key` if present; returns whether it was present.
   bool erase(std::uint64_t key) noexcept {
-    std::size_t i = probe_start(key);
+    const std::uint64_t h = detail::mix64(key);
+    const std::uint8_t tag = tag_of(h);
+    std::size_t i = h & mask_;
     while (true) {
-      if (slots_[i].key == kEmptyKey) return false;
-      if (slots_[i].key == key) break;
+      const std::uint8_t t = tags_[i];
+      if (t == tag && slots_[i].key == key) break;
+      if (t == kEmptyTag) return false;
       i = next(i);
     }
     // Backward-shift deletion: pull subsequent displaced entries back.
     std::size_t hole = i;
     std::size_t j = next(i);
-    while (slots_[j].key != kEmptyKey) {
+    while (tags_[j] != kEmptyTag) {
       const std::size_t home = probe_start(slots_[j].key);
       // Can slot j legally move into the hole? Yes iff the hole lies in the
       // cyclic probe interval [home, j).
@@ -112,11 +182,13 @@ class FlatMap {
                                : (home <= hole && home > j);
       if (movable) {
         slots_[hole] = std::move(slots_[j]);
+        tags_[hole] = tags_[j];
         hole = j;
       }
       j = next(j);
     }
-    slots_[hole].key = kEmptyKey;
+    tags_[hole] = kEmptyTag;
+    slots_[hole].key = kEmptyKey;  // key-scrub invariant (see at_index)
     --size_;
     return true;
   }
@@ -124,13 +196,13 @@ class FlatMap {
   /// Calls f(key, value&) for every entry.
   template <typename F>
   void for_each(F&& f) {
-    for (auto& s : slots_)
-      if (s.key != kEmptyKey) f(s.key, s.value);
+    for (std::size_t i = 0; i < tags_.size(); ++i)
+      if (tags_[i] != kEmptyTag) f(slots_[i].key, slots_[i].value);
   }
   template <typename F>
   void for_each(F&& f) const {
-    for (const auto& s : slots_)
-      if (s.key != kEmptyKey) f(s.key, s.value);
+    for (std::size_t i = 0; i < tags_.size(); ++i)
+      if (tags_[i] != kEmptyTag) f(slots_[i].key, slots_[i].value);
   }
 
   void reserve(std::size_t n) {
@@ -142,10 +214,21 @@ class FlatMap {
   std::size_t capacity() const noexcept { return slots_.size(); }
 
  private:
+  static constexpr std::uint8_t kEmptyTag = 0;
+
   struct Slot {
+    // Unoccupied slots must hold kEmptyKey (the key-scrub invariant), so
+    // at_index() can validate a cached slot index with one key compare.
     std::uint64_t key = kEmptyKey;
     V value{};
   };
+
+  /// 0x80 | top 7 bits of the mixed hash — never kEmptyTag.  The probe
+  /// index uses the *low* bits of the same hash, so tag and index are
+  /// nearly independent.
+  static std::uint8_t tag_of(std::uint64_t h) noexcept {
+    return static_cast<std::uint8_t>(0x80u | (h >> 57));
+  }
 
   std::size_t probe_start(std::uint64_t key) const noexcept {
     return detail::mix64(key) & mask_;
@@ -157,19 +240,22 @@ class FlatMap {
   }
 
   void rehash(std::size_t new_cap) {
-    std::vector<Slot> old = std::move(slots_);
+    std::vector<std::uint8_t> old_tags = std::move(tags_);
+    std::vector<Slot> old_slots = std::move(slots_);
+    tags_.assign(new_cap, kEmptyTag);
     slots_.assign(new_cap, Slot{});
     mask_ = new_cap - 1;
-    size_ = 0;
-    for (auto& s : old) {
-      if (s.key == kEmptyKey) continue;
-      std::size_t i = probe_start(s.key);
-      while (slots_[i].key != kEmptyKey) i = next(i);
-      slots_[i] = std::move(s);
-      ++size_;
+    for (std::size_t s = 0; s < old_tags.size(); ++s) {
+      if (old_tags[s] == kEmptyTag) continue;
+      const std::uint64_t h = detail::mix64(old_slots[s].key);
+      std::size_t i = h & mask_;
+      while (tags_[i] != kEmptyTag) i = next(i);
+      tags_[i] = old_tags[s];
+      slots_[i] = std::move(old_slots[s]);
     }
   }
 
+  std::vector<std::uint8_t> tags_;
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
@@ -186,12 +272,8 @@ class FlatSet {
   void clear() { map_.clear(); }
   void reserve(std::size_t n) { map_.reserve(n); }
 
-  /// Returns true if newly inserted.
-  bool insert(std::uint64_t key) {
-    if (map_.contains(key)) return false;
-    map_[key] = Unit{};
-    return true;
-  }
+  /// Returns true if newly inserted (single probe — no pre-check).
+  bool insert(std::uint64_t key) { return map_.try_emplace(key).second; }
   bool contains(std::uint64_t key) const noexcept {
     return map_.contains(key);
   }

@@ -28,6 +28,11 @@ class BMatching {
   std::size_t size() const noexcept { return edges_.size(); }
 
   bool has(Rack u, Rack v) const noexcept {
+    RDCN_DCHECK(u < adjacency_.size() && v < adjacency_.size());
+    // Up to degree 16 the adjacency row is a single cache line of rack
+    // ids, so a linear scan beats a hash probe on the per-request
+    // membership check; the edge set answers the large-b case.
+    if (degree_cap_ <= 16) return adjacency_[u].contains(v);
     return edges_.contains(pair_key(u, v));
   }
   bool has_key(std::uint64_t key) const noexcept {

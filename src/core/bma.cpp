@@ -13,44 +13,64 @@ void Bma::on_request(const Request& r, bool matched) {
   // a fixed-network serve moves a pair toward admission), so the reference
   // implementation refreshes the eviction candidate at both endpoints on
   // every request.  This is the Θ(b) component of BMA's per-request cost.
-  eviction_candidate_[r.u] = scan_eviction_candidate(r.u);
-  eviction_candidate_[r.v] = scan_eviction_candidate(r.v);
+  request_state_ = nullptr;
+  eviction_candidate_[r.u] = scan_eviction_candidate(r.u, key);
+  eviction_candidate_[r.v] = scan_eviction_candidate(r.v, key);
 
   if (matched) {
-    ++usage_[key];
+    // A matched pair is incident to both endpoints, so the scans above
+    // already resolved its record — no extra probe.
+    RDCN_DCHECK(request_state_ != nullptr);
+    ++request_state_->usage;
     return;
   }
 
-  std::uint64_t& c = charge_[key];
-  c += dist(r.u, r.v);
-  if (c < alpha()) return;
+  PairState& s = *pairs_.try_emplace(key).first;
+  s.charge += dist(r.u, r.v);
+  if (s.charge < alpha()) return;
 
   // The pair has paid α in fixed-network routing: admit it.
-  charge_.erase(key);
   if (matching_view().full(r.u)) evict_at(r.u);
   if (matching_view().full(r.v)) evict_at(r.v);
   add_matching_edge(r.u, r.v);
-  usage_[key] = 0;
-  admitted_at_[key] = clock_;
+  // Eviction above may have backward-shifted the map; re-resolve the slot.
+  const std::size_t slot = pairs_.find_index(key);
+  PairState& admitted = *pairs_.at_index(slot, key);
+  admitted.charge = 0;
+  admitted.usage = 0;
+  admitted.admitted_at = clock_;
+  incident_[r.u].push_back({key, static_cast<std::uint32_t>(slot)});
+  incident_[r.v].push_back({key, static_cast<std::uint32_t>(slot)});
 }
 
-std::uint64_t Bma::scan_eviction_candidate(Rack w) const {
-  const auto& neighbors = matching_view().neighbors(w);
+std::uint64_t Bma::scan_eviction_candidate(Rack w,
+                                           std::uint64_t request_key) {
+  auto& row = incident_[w];
+  RDCN_DCHECK(row.size() == matching_view().degree(w));
   std::uint64_t victim_key = kNoCandidate;
   std::uint64_t best_usage = ~std::uint64_t{0};
   std::uint64_t best_age = ~std::uint64_t{0};
-  for (std::size_t i = 0; i < neighbors.size(); ++i) {
-    const std::uint64_t key = pair_key(w, neighbors[i]);
-    const std::uint64_t* use = usage_.find(key);
-    const std::uint64_t* adm = admitted_at_.find(key);
-    RDCN_DCHECK(use != nullptr && adm != nullptr);
-    // Least direct-serve usage; oldest admission breaks ties.
-    if (*use < best_usage || (*use == best_usage && *adm < best_age)) {
-      best_usage = *use;
-      best_age = *adm;
-      victim_key = key;
+  PairState* found = request_state_;  // keep the capture in a register
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EdgeRef& e = row[i];
+    PairState* s = pairs_.at_index(e.slot, e.key);
+    if (s == nullptr) {  // slot index went stale: re-find and re-cache
+      const std::size_t idx = pairs_.find_index(e.key);
+      e.slot = static_cast<std::uint32_t>(idx);
+      s = pairs_.at_index(idx, e.key);
+      RDCN_DCHECK(s != nullptr);
     }
+    found = e.key == request_key ? s : found;
+    // Least direct-serve usage; oldest admission breaks ties.  Admission
+    // ticks are unique, so the argmin is unique and iteration order never
+    // changes the outcome (branchless selects keep the loop tight).
+    const bool better = (s->usage < best_usage) |
+                        ((s->usage == best_usage) & (s->admitted_at < best_age));
+    best_usage = better ? s->usage : best_usage;
+    best_age = better ? s->admitted_at : best_age;
+    victim_key = better ? e.key : victim_key;
   }
+  request_state_ = found;
   return victim_key;
 }
 
@@ -59,14 +79,27 @@ void Bma::evict_at(Rack w) {
   // The cached candidate can be stale (evicted from the other endpoint in
   // this very step); rescan if so.
   if (victim_key == kNoCandidate || !matching_view().has_key(victim_key)) {
-    victim_key = scan_eviction_candidate(w);
+    victim_key = scan_eviction_candidate(w, kNoCandidate);
   }
   RDCN_ASSERT_MSG(victim_key != kNoCandidate,
                   "evict_at on rack with no matching edges");
-  usage_.erase(victim_key);
-  admitted_at_.erase(victim_key);
+  pairs_.erase(victim_key);
   remove_matching_edge_key(victim_key);
+  drop_incident(victim_key);
   eviction_candidate_[w] = kNoCandidate;
+}
+
+void Bma::drop_incident(std::uint64_t key) {
+  for (const Rack w : {pair_lo(key), pair_hi(key)}) {
+    auto& row = incident_[w];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].key == key) {
+        row.swap_erase(i);
+        break;
+      }
+    }
+    RDCN_DCHECK(row.size() == matching_view().degree(w));
+  }
 }
 
 }  // namespace rdcn::core

@@ -20,11 +20,22 @@
 // ≤ b incident matching edges of both endpoints to refresh the candidate.
 // This Θ(b) request-path scan — which the randomized algorithm does not
 // need — is the mechanistic source of BMA's runtime growth with b seen in
-// the paper's Figs 1b–4b.
+// the paper's Figs 1b–4b.  All per-pair bookkeeping lives in one
+// FlatMap<PairState> (see core/pair_state.hpp).  To keep the scan's
+// per-edge step cheap, BMA maintains a dense per-rack row of
+// {pair key, cached map slot} for the incident matching edges: each scan
+// step is then one validated O(1) slot access (FlatMap::at_index) instead
+// of a hash probe, with a real find() as the fallback when a slot index
+// went stale (rehash or backward-shift).  The rows mirror the matching
+// adjacency exactly — both are mutated only at admission and eviction —
+// and since admission clock ticks are unique, the scan's argmin victim is
+// unique, so row iteration order cannot affect the ledger.
 #pragma once
 
 #include "common/flat_hash.hpp"
+#include "common/small_vector.hpp"
 #include "core/online_matcher.hpp"
+#include "core/pair_state.hpp"
 
 namespace rdcn::core {
 
@@ -32,41 +43,57 @@ class Bma final : public OnlineBMatcher {
  public:
   explicit Bma(const Instance& instance)
       : OnlineBMatcher(instance),
-        eviction_candidate_(instance.num_racks(), kNoCandidate) {}
+        eviction_candidate_(instance.num_racks(), kNoCandidate),
+        incident_(instance.num_racks()) {}
 
   std::string name() const override { return "bma"; }
 
   void reset() override {
     OnlineBMatcher::reset();
-    charge_.clear();
-    usage_.clear();
-    admitted_at_.clear();
+    pairs_.clear();
     std::fill(eviction_candidate_.begin(), eviction_candidate_.end(),
               kNoCandidate);
+    for (auto& row : incident_) row.clear();
     clock_ = 0;
   }
 
   /// Test hook: accumulated charge toward admission for pair key.
   std::uint64_t charge(std::uint64_t key) const {
-    const std::uint64_t* c = charge_.find(key);
-    return c != nullptr ? *c : 0;
+    const PairState* s = pairs_.find(key);
+    return s != nullptr ? s->charge : 0;
   }
 
  private:
   static constexpr std::uint64_t kNoCandidate = 0;
 
+  /// One incident matching edge at a rack: its canonical pair key plus a
+  /// cached slot index into pairs_ (validated on every use, so staleness
+  /// is harmless — at_index() just misses and we re-find).
+  struct EdgeRef {
+    std::uint64_t key;
+    std::uint32_t slot;
+  };
+
   void on_request(const Request& r, bool matched) override;
 
   /// Θ(b) scan: recomputes the least-used incident matching edge at w.
-  std::uint64_t scan_eviction_candidate(Rack w) const;
+  /// While iterating the row it also captures the record of `request_key`
+  /// if that edge is incident to w (side-channel into request_state_), so
+  /// a matched request never pays a separate hash probe for its own pair.
+  std::uint64_t scan_eviction_candidate(Rack w, std::uint64_t request_key);
 
   /// Evicts the cached candidate at w (falls back to a scan if stale).
   void evict_at(Rack w);
 
-  FlatMap<std::uint64_t> charge_;       ///< pair -> paid routing cost
-  FlatMap<std::uint64_t> usage_;        ///< matched pair -> direct serves
-  FlatMap<std::uint64_t> admitted_at_;  ///< matched pair -> admission time
+  /// Removes the victim's row entries at both of its endpoints.
+  void drop_incident(std::uint64_t key);
+
+  FlatMap<PairState> pairs_;  ///< unified per-pair state (one probe/step)
   std::vector<std::uint64_t> eviction_candidate_;  ///< per-rack victim key
+  /// Per-rack edge rows; 16 inline entries keep the paper's b range
+  /// (3–18) off the heap so a scan touches only contiguous memory.
+  std::vector<SmallVector<EdgeRef, 16>> incident_;
+  PairState* request_state_ = nullptr;  ///< scan side-channel (see above)
   std::uint64_t clock_ = 0;
 };
 

@@ -1,0 +1,37 @@
+// rdcn: unified per-pair request-path state.
+//
+// BMA historically kept three parallel FlatMaps (charge, usage, admission
+// time), so every request paid up to three independent hash probes — and
+// the Θ(b) eviction scan paid *two* probes per incident matching edge.
+// Packing the three counters into one 24-byte record keyed once by the
+// pair id gives every request-path step a single probe while keeping the
+// cost ledger bit-identical (the record is pure bookkeeping).
+//
+// Field order is deliberate: the eviction scan reads only {usage,
+// admitted_at}, so they lead the struct and land in the same cache line
+// as the slot key; `charge` (touched once per non-matched request, never
+// by the scan) goes last.
+//
+// Lifecycle (mirrors the BMA state machine exactly):
+//   * a pair not in the map has charge = usage = 0 and is unmatched;
+//   * an unmatched pair accumulates `charge`; `usage`/`admitted_at` are 0;
+//   * at admission charge resets to 0 and {usage = 0, admitted_at = now}
+//     begin tracking the matched edge (a matched pair never carries
+//     charge);
+//   * eviction erases the record outright — the paper's "counter restarts
+//     from zero".
+#pragma once
+
+#include <cstdint>
+
+namespace rdcn::core {
+
+struct PairState {
+  std::uint64_t usage = 0;        ///< direct serves since admission
+  std::uint64_t admitted_at = 0;  ///< admission clock tick (0 = unmatched)
+  std::uint64_t charge = 0;       ///< paid routing cost toward admission
+};
+
+static_assert(sizeof(PairState) == 24, "PairState must stay tightly packed");
+
+}  // namespace rdcn::core

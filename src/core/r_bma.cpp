@@ -40,8 +40,8 @@ void RBma::reset() {
   OnlineBMatcher::reset();
   master_rng_ = Xoshiro256(options_.seed);
   build_engines();
-  counters_.clear();
-  marked_.clear();
+  pairs_.clear();
+  marked_count_ = 0;
   specials_ = 0;
 }
 
@@ -61,9 +61,9 @@ void RBma::on_request(const Request& r, bool /*matched*/) {
   // ke = ceil(alpha / dist).
   const std::uint64_t d = dist(r.u, r.v);
   const std::uint64_t ke = (alpha() + d - 1) / d;
-  std::uint32_t& counter = counters_[key];
-  if (++counter < ke) return;
-  counter = 0;
+  PairCounter& state = *pairs_.try_emplace(key).first;
+  if (++state.counter < ke) return;
+  state.counter = 0;
   ++specials_;
 
   // Theorem 2 reduction: forward the special request to the paging engines
@@ -82,7 +82,9 @@ void RBma::handle_evictions(const std::vector<paging::Key>& evicted) {
   for (const paging::Key key : evicted) {
     if (!matching_view().has_key(key)) continue;  // was never doubly cached
     if (options_.lazy_eviction) {
-      marked_.insert(key);  // keep the edge until capacity forces pruning
+      // Keep the edge until capacity forces pruning.  A cached key was
+      // requested at some point, so its record exists already.
+      set_marked(*pairs_.try_emplace(key).first, true);
     } else {
       remove_matching_edge_key(key);
     }
@@ -94,7 +96,7 @@ void RBma::ensure_matched(Rack u, Rack v) {
   if (matching_view().has_key(key)) {
     // A lazily marked edge that is requested again is doubly cached once
     // more — resurrect it for free (no reconfiguration happened).
-    marked_.erase(key);
+    if (PairCounter* s = pairs_.find(key)) set_marked(*s, false);
     return;
   }
   if (matching_view().full(u)) prune_marked_at(u);
@@ -109,8 +111,9 @@ void RBma::prune_marked_at(Rack w) {
   const auto& neighbors = matching_view().neighbors(w);
   for (std::size_t i = 0; i < neighbors.size(); ++i) {
     const std::uint64_t key = pair_key(w, neighbors[i]);
-    if (marked_.contains(key)) {
-      marked_.erase(key);
+    PairCounter* s = pairs_.find(key);
+    if (s != nullptr && s->marked) {
+      set_marked(*s, false);
       remove_matching_edge_key(key);
       return;
     }
@@ -123,7 +126,7 @@ bool RBma::check_intersection_invariant() const {
   bool ok = true;
   // Every unmarked matching edge must be cached at both endpoints.
   for (const std::uint64_t key : matching_view().edge_keys()) {
-    if (marked_.contains(key)) continue;
+    if (marked_for_removal(key)) continue;
     const Rack lo = pair_lo(key), hi = pair_hi(key);
     if (!engines_[lo]->contains(key) || !engines_[hi]->contains(key))
       ok = false;
@@ -131,7 +134,7 @@ bool RBma::check_intersection_invariant() const {
   if (!options_.lazy_eviction) {
     // Eager mode: marked set must be empty and the invariant is two-sided —
     // spot-check that doubly-cached pairs that are matched are exact.
-    if (marked_.size() != 0) ok = false;
+    if (marked_count_ != 0) ok = false;
   }
   return ok;
 }

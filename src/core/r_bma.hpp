@@ -73,11 +73,12 @@ class RBma final : public OnlineBMatcher {
 
   /// Test hook: is `e` marked for (lazy) removal?
   bool marked_for_removal(std::uint64_t key) const {
-    return marked_.contains(key);
+    const PairCounter* s = pairs_.find(key);
+    return s != nullptr && s->marked;
   }
 
   /// Test hook: number of matching edges currently marked for lazy removal.
-  std::size_t marked_count() const noexcept { return marked_.size(); }
+  std::size_t marked_count() const noexcept { return marked_count_; }
 
   /// Verifies the Theorem 2 intersection invariant (strict form under
   /// eager eviction; under lazy eviction every unmarked matched edge must
@@ -86,9 +87,30 @@ class RBma final : public OnlineBMatcher {
   bool check_intersection_invariant() const;
 
  private:
+  /// Unified per-pair record: the Theorem 1 request counter and the lazy
+  /// removal mark share one map entry, so the request path resolves both
+  /// with a single tagged probe.  `marked` is only ever true for keys
+  /// currently in the matching.
+  struct PairCounter {
+    std::uint32_t counter = 0;  ///< requests since last special request
+    bool marked = false;        ///< lazily-removed matching edge?
+  };
+
   void on_request(const Request& r, bool matched) override;
 
   void build_engines();
+
+  /// Flips the mark on `s`, keeping the running marked-edge count exact.
+  void set_marked(PairCounter& s, bool marked) {
+    if (s.marked != marked) {
+      s.marked = marked;
+      if (marked) {
+        ++marked_count_;
+      } else {
+        --marked_count_;
+      }
+    }
+  }
 
   /// Handles keys evicted from rack w's cache.
   void handle_evictions(const std::vector<paging::Key>& evicted);
@@ -103,8 +125,8 @@ class RBma final : public OnlineBMatcher {
   RBmaOptions options_;
   Xoshiro256 master_rng_;
   std::vector<std::unique_ptr<paging::PagingAlgorithm>> engines_;
-  FlatMap<std::uint32_t> counters_;  ///< pair key -> requests since special
-  FlatSet marked_;                   ///< lazily-removed matching edges
+  FlatMap<PairCounter> pairs_;  ///< unified per-pair state (one probe)
+  std::size_t marked_count_ = 0;
   std::vector<paging::Key> evicted_scratch_;
   std::uint64_t specials_ = 0;
 };

@@ -1,0 +1,142 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/assert.hpp"
+
+namespace rdcn::sim {
+
+namespace {
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+struct ThreadPool::Job {
+  Body body;
+  void* ctx;
+  std::size_t count;
+  std::atomic<std::size_t> cursor{0};  ///< next index to claim
+  std::atomic<std::size_t> done{0};    ///< indices fully executed
+  std::atomic<std::int64_t> slots;     ///< worker participation slots left
+  std::atomic<std::size_t> active{0};  ///< workers currently draining
+  std::mutex m;
+  std::condition_variable cv;
+
+  Job(Body b, void* c, std::size_t n, std::int64_t worker_slots)
+      : body(b), ctx(c), count(n), slots(worker_slots) {}
+
+  bool finished() const noexcept {
+    return done.load(std::memory_order_acquire) == count &&
+           active.load(std::memory_order_acquire) == 0;
+  }
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  threads_spawned_ = num_workers;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_pool_worker; }
+
+std::uint64_t ThreadPool::jobs_completed() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_completed_;
+}
+
+void ThreadPool::drain(Job& job) {
+  while (true) {
+    const std::size_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    job.body(job.ctx, i);
+    job.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+ThreadPool::Job* ThreadPool::try_claim_locked() {
+  for (Job* job : queue_) {
+    if (job->cursor.load(std::memory_order_relaxed) >= job->count) continue;
+    if (job->slots.fetch_sub(1, std::memory_order_relaxed) > 0) return job;
+    job->slots.fetch_add(1, std::memory_order_relaxed);  // over-subscribed
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_main() {
+  t_on_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    Job* job = try_claim_locked();
+    if (job == nullptr) {
+      cv_.wait(lock);
+      continue;
+    }
+    job->active.fetch_add(1, std::memory_order_acq_rel);
+    lock.unlock();
+    drain(*job);
+    {
+      // The decrement and the wakeup must both happen under job->m, and
+      // nothing may touch the job afterwards: the owner destroys the
+      // stack-allocated Job as soon as its predicate holds, and it can
+      // only re-acquire job->m after we release it here.
+      std::lock_guard<std::mutex> g(job->m);
+      job->active.fetch_sub(1, std::memory_order_acq_rel);
+      job->cv.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+void ThreadPool::run(std::size_t count, std::size_t max_parallelism,
+                     Body body, void* ctx) {
+  if (count == 0) return;
+  // Inline execution when parallelism cannot help — or when called from a
+  // pool worker (a nested blocking job would risk self-deadlock).
+  if (count == 1 || max_parallelism <= 1 || workers_.empty() ||
+      t_on_pool_worker) {
+    for (std::size_t i = 0; i < count; ++i) body(ctx, i);
+    return;
+  }
+
+  // The owner participates, so hand out one slot fewer to the workers.
+  Job job(body, ctx, count,
+          static_cast<std::int64_t>(max_parallelism) - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(&job);
+  }
+  cv_.notify_all();
+
+  drain(job);
+
+  // All indices are claimed once the owner's drain returns, so the job can
+  // leave the queue; workers already inside it are tracked via `active`.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.erase(std::find(queue_.begin(), queue_.end(), &job));
+    ++jobs_completed_;
+  }
+  std::unique_lock<std::mutex> jl(job.m);
+  job.cv.wait(jl, [&] { return job.finished(); });
+}
+
+}  // namespace rdcn::sim

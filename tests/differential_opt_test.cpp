@@ -5,6 +5,7 @@
 // instances sweeping topology, b, and α.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "core/r_bma.hpp"
 #include "net/distance_matrix.hpp"
 #include "net/topology.hpp"
+#include "sim/parallel_runner.hpp"
 #include "trace/trace.hpp"
 #include "test_util.hpp"
 
@@ -53,18 +55,20 @@ TEST(DifferentialOpt, ExhaustiveTracesThreeRacks) {
   const Rack us[3] = {0, 0, 1};
   const Rack vs[3] = {1, 2, 2};
   const int kLen = 5;
-  int total = 0;
-  for (int code = 0; code < 243; ++code) {
+  std::atomic<int> total{0};
+  // Each trace is an independent instance, so the sweep rides the
+  // persistent pool (gtest assertions are thread-safe on pthreads).
+  sim::parallel_for(243, [&](std::size_t code) {
     trace::Trace t(3, "exhaustive3");
-    int c = code;
+    auto c = static_cast<int>(code);
     for (int i = 0; i < kLen; ++i) {
       t.push_back(Request::make(us[c % 3], vs[c % 3]));
       c /= 3;
     }
     expect_dominates_opt(inst, t, "trace#" + std::to_string(code));
-    ++total;
-  }
-  EXPECT_EQ(total, 243);
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 243);
 }
 
 TEST(DifferentialOpt, ExhaustiveTracesFourRacksLineMetric) {
@@ -78,15 +82,15 @@ TEST(DifferentialOpt, ExhaustiveTracesFourRacksLineMetric) {
   }
   ASSERT_EQ(pairs.size(), 6u);
   const int kLen = 4;
-  for (int code = 0; code < 1296; ++code) {
+  sim::parallel_for(1296, [&](std::size_t code) {
     trace::Trace t(4, "exhaustive4");
-    int c = code;
+    auto c = static_cast<int>(code);
     for (int i = 0; i < kLen; ++i) {
       t.push_back(Request::make(pairs[c % 6].first, pairs[c % 6].second));
       c /= 6;
     }
     expect_dominates_opt(inst, t, "trace#" + std::to_string(code));
-  }
+  });
 }
 
 TEST(DifferentialOpt, RandomizedInstancesUpToSixRacks) {

@@ -1,8 +1,10 @@
 // Unit + fuzz tests for the open-addressing containers (common/flat_hash.hpp).
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/flat_hash.hpp"
 #include "common/rng.hpp"
@@ -145,6 +147,126 @@ TEST(FlatSet, FuzzAgainstStd) {
   }
   EXPECT_EQ(ours.size(), ref.size());
   for (std::uint64_t k : ref) EXPECT_TRUE(ours.contains(k));
+}
+
+TEST(FlatMap, ChurnFuzzWithFullContentCrossCheck) {
+  // Heavier churn than the basic fuzz: interleaved insert/erase/find plus
+  // periodic two-way for_each reconciliation, so backward-shift deletion
+  // bugs that leave ghost or lost entries cannot hide.
+  Xoshiro256 rng(79);
+  FlatMap<std::uint64_t> ours;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  for (int step = 1; step <= 60000; ++step) {
+    const std::uint64_t key = 1 + rng.next_below(384);
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        const std::uint64_t v = rng.next_below(1u << 20);
+        ours[key] = v;
+        ref[key] = v;
+        break;
+      }
+      case 2:
+        ASSERT_EQ(ours.erase(key), ref.erase(key) > 0);
+        break;
+      default: {
+        const std::uint64_t* p = ours.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(p != nullptr, it != ref.end());
+        if (p != nullptr) {
+          ASSERT_EQ(*p, it->second);
+        }
+      }
+    }
+    if (step % 10000 == 0) {
+      ASSERT_EQ(ours.size(), ref.size());
+      std::size_t visited = 0;
+      ours.for_each([&](std::uint64_t k, std::uint64_t v) {
+        ++visited;
+        const auto it = ref.find(k);
+        ASSERT_NE(it, ref.end()) << "ghost key " << k;
+        ASSERT_EQ(v, it->second);
+      });
+      ASSERT_EQ(visited, ref.size());
+    }
+  }
+}
+
+TEST(FlatMap, BackwardShiftAcrossWrapAroundBoundary) {
+  // Build a displacement cluster that straddles the table's wrap-around
+  // (slots near capacity-1 spilling into slot 0), then delete inside it.
+  // mix64 is public, so we can hand-pick keys by their home slot.
+  FlatMap<int> m;
+  const std::size_t cap = m.capacity();  // fresh map: 16 slots
+  std::vector<std::uint64_t> near_end;
+  for (std::uint64_t k = 1; near_end.size() < 5; ++k) {
+    if ((detail::mix64(k) & (cap - 1)) >= cap - 2) near_end.push_back(k);
+  }
+  for (std::size_t i = 0; i < near_end.size(); ++i) {
+    m[near_end[i]] = static_cast<int>(i);
+  }
+  ASSERT_EQ(m.size(), 5u);  // cluster occupies {14, 15, 0, 1, ...}
+  // Erase the entries homed nearest the boundary first; the survivors must
+  // backward-shift across the wrap and stay findable.
+  for (std::size_t i = 0; i < near_end.size(); ++i) {
+    ASSERT_TRUE(m.erase(near_end[i]));
+    for (std::size_t j = i + 1; j < near_end.size(); ++j) {
+      const int* p = m.find(near_end[j]);
+      ASSERT_NE(p, nullptr) << "lost key " << near_end[j] << " after erase "
+                            << i;
+      ASSERT_EQ(*p, static_cast<int>(j));
+    }
+  }
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, CachedSlotIndexesSurviveChurn) {
+  // find_index/at_index are the request path's slot cache; under churn a
+  // cached index must either still resolve to its key or miss — never
+  // alias to a different or deleted entry.
+  Xoshiro256 rng(81);
+  FlatMap<std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  std::unordered_map<std::uint64_t, std::size_t> cached;
+  for (int step = 0; step < 40000; ++step) {
+    const std::uint64_t key = 1 + rng.next_below(256);
+    if (rng.next_bool(0.5)) {
+      m[key] = key * 3;
+      ref[key] = key * 3;
+      cached[key] = m.find_index(key);
+    } else {
+      m.erase(key);
+      ref.erase(key);
+    }
+    // Validate a random cached hint each step.
+    if (!cached.empty()) {
+      auto it = cached.begin();
+      std::advance(it, rng.next_below(cached.size()));
+      const std::uint64_t* via_hint = m.at_index(it->second, it->first);
+      const auto live = ref.find(it->first);
+      if (via_hint != nullptr) {
+        // A validated hit must be the live value, never stale data.
+        ASSERT_NE(live, ref.end());
+        ASSERT_EQ(*via_hint, live->second);
+      } else if (live != ref.end()) {
+        // Stale hint on a live key: a fresh find_index must recover it.
+        const std::size_t idx = m.find_index(it->first);
+        ASSERT_NE(idx, FlatMap<std::uint64_t>::kNoSlot);
+        ASSERT_EQ(*m.at_index(idx, it->first), live->second);
+      }
+    }
+  }
+}
+
+TEST(FlatMap, FindIndexMatchesFind) {
+  FlatMap<int> m;
+  for (std::uint64_t k = 1; k <= 300; ++k) m[k] = static_cast<int>(k);
+  for (std::uint64_t k = 1; k <= 300; ++k) {
+    const std::size_t idx = m.find_index(k);
+    ASSERT_NE(idx, FlatMap<int>::kNoSlot);
+    EXPECT_EQ(m.at_index(idx, k), m.find(k));
+  }
+  EXPECT_EQ(m.find_index(12345), FlatMap<int>::kNoSlot);
 }
 
 TEST(FlatSet, ForEachEnumeratesExactly) {

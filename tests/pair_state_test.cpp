@@ -1,0 +1,57 @@
+// Layout guarantees of the unified per-pair record (core/pair_state.hpp):
+// the whole point of the unification is that one FlatMap slot holds all
+// request-path state, so the packing is load-bearing for performance and
+// pinned down here.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <type_traits>
+
+#include "common/flat_hash.hpp"
+#include "core/pair_state.hpp"
+
+namespace {
+
+using rdcn::FlatMap;
+using rdcn::core::PairState;
+
+TEST(PairState, StaysTightlyPacked) {
+  EXPECT_EQ(sizeof(PairState), 24u);
+  EXPECT_EQ(alignof(PairState), 8u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<PairState>);
+  EXPECT_TRUE(std::is_standard_layout_v<PairState>);
+}
+
+TEST(PairState, ScanHotFieldsLead) {
+  // The Θ(b) eviction scan reads only {usage, admitted_at}; they must stay
+  // at the front of the record so they share the slot's first cache line
+  // with the key.  `charge` is the scan-cold field and goes last.
+  EXPECT_EQ(offsetof(PairState, usage), 0u);
+  EXPECT_EQ(offsetof(PairState, admitted_at), 8u);
+  EXPECT_EQ(offsetof(PairState, charge), 16u);
+}
+
+TEST(PairState, DefaultStateIsUnmatchedZero) {
+  const PairState s;
+  EXPECT_EQ(s.charge, 0u);
+  EXPECT_EQ(s.usage, 0u);
+  EXPECT_EQ(s.admitted_at, 0u);
+}
+
+TEST(PairState, LivesInFlatMapWithValidatedSlotAccess) {
+  // The BMA request path stores slot indexes for PairState records and
+  // revalidates them via at_index; model that usage pattern end-to-end.
+  FlatMap<PairState> m;
+  m[7].charge = 41;
+  const std::size_t slot = m.find_index(7);
+  ASSERT_NE(slot, FlatMap<PairState>::kNoSlot);
+  ASSERT_NE(m.at_index(slot, 7), nullptr);
+  EXPECT_EQ(m.at_index(slot, 7)->charge, 41u);
+  // A different key never validates through the cached slot.
+  EXPECT_EQ(m.at_index(slot, 8), nullptr);
+  // After an erase the stale index must miss rather than resurrect data.
+  m.erase(7);
+  EXPECT_EQ(m.at_index(slot, 7), nullptr);
+}
+
+}  // namespace
