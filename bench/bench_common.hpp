@@ -69,16 +69,13 @@ inline void run_figure(const FigureSetup& setup, const trace::Trace& trace) {
   for (std::size_t b : setup.cache_sizes)
     specs.push_back({.algorithm = "r_bma",
                      .b = b,
-                     .rbma = {},
                      .label = "R-BMA(b=" + std::to_string(b) + ")"});
   for (std::size_t b : setup.cache_sizes)
     specs.push_back({.algorithm = "bma",
                      .b = b,
-                     .rbma = {},
                      .label = "BMA(b=" + std::to_string(b) + ")"});
   specs.push_back({.algorithm = "oblivious",
                    .b = setup.cache_sizes.front(),
-                   .rbma = {},
                    .label = "Oblivious"});
 
   const auto results = sim::run_experiment(config, trace, specs);
@@ -92,15 +89,12 @@ inline void run_figure(const FigureSetup& setup, const trace::Trace& trace) {
   const std::vector<sim::ExperimentSpec> best_specs = {
       {.algorithm = "r_bma",
        .b = b_max,
-       .rbma = {},
        .label = "R-BMA(b=" + std::to_string(b_max) + ")"},
       {.algorithm = "bma",
        .b = b_max,
-       .rbma = {},
        .label = "BMA(b=" + std::to_string(b_max) + ")"},
       {.algorithm = "so_bma",
        .b = b_max,
-       .rbma = {},
        .label = "SO-BMA(b=" + std::to_string(b_max) + ")"},
   };
   const auto best = sim::run_experiment(config, trace, best_specs);

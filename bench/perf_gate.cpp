@@ -184,7 +184,10 @@ int main(int argc, char** argv) {
       inst.b = b;
       inst.alpha = kAlpha;
       for (const char* algo : algorithms) {
-        auto matcher = core::make_matcher(algo, inst, t, kSeed);
+        // Matchers are built through the scenario registry (default
+        // parameters): the 30 golden anchors double as proof that the
+        // registry path is behaviour-identical to direct construction.
+        auto matcher = scenario::make_algorithm(algo, inst, t, kSeed);
         Measurement m;
         m.trace = trace_name;
         m.algorithm = algo;

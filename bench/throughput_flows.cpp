@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
   double oblivious_fct = 0.0, rbma_fct = 0.0;
   for (const char* algo : {"oblivious", "rotor", "greedy", "bma", "r_bma", "so_bma"}) {
-    auto matcher = core::make_matcher(algo, inst, &warmup, /*seed=*/3);
+    auto matcher = scenario::make_algorithm(algo, inst, &warmup, /*seed=*/3);
     for (const core::Request& r : warmup) matcher->serve(r);
 
     const flowsim::FlowNetwork network(topo, matcher->matching(),

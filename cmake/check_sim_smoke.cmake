@@ -1,0 +1,48 @@
+# End-to-end smoke sweep for the rdcn_sim CLI: a tiny scenario (two
+# algorithm specs, two cache sizes) must run through the registries and
+# write a well-formed CSV — header naming every column, one row per
+# checkpoint.  Registered as a tier1 ctest so the CLI can never silently
+# rot.
+#
+# Usage: cmake -DSIM=<rdcn_sim binary> -DCSV=<output csv> -P check_sim_smoke.cmake
+execute_process(
+  COMMAND ${SIM}
+    --topology=torus:rows=3,cols=3 --racks=9
+    --workload=flow_pool:pairs=30,skew=1.1 --requests=3000
+    --algorithms=r_bma:engine=lru,bma --b=2,4
+    --trials=2 --checkpoints=4 --seed=7
+    --csv=${CSV}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rdcn_sim exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+if(NOT EXISTS ${CSV})
+  message(FATAL_ERROR "rdcn_sim did not write ${CSV}")
+endif()
+file(STRINGS ${CSV} lines)
+list(LENGTH lines line_count)
+# 1 header + one row per checkpoint.
+if(NOT line_count EQUAL 5)
+  message(FATAL_ERROR "expected 5 CSV lines (header + 4 checkpoints), got ${line_count}:\n${lines}")
+endif()
+
+list(GET lines 0 header)
+set(expected_header "requests,r_bma:engine=lru(b=2),r_bma:engine=lru(b=4),bma(b=2),bma(b=4)")
+if(NOT header STREQUAL expected_header)
+  message(FATAL_ERROR "CSV header mismatch:\n  got:  ${header}\n  want: ${expected_header}")
+endif()
+
+# Every data row carries one value per column.
+foreach(i RANGE 1 4)
+  list(GET lines ${i} row)
+  string(REGEX MATCHALL "," commas "${row}")
+  list(LENGTH commas comma_count)
+  if(NOT comma_count EQUAL 4)
+    message(FATAL_ERROR "CSV row ${i} malformed (want 5 fields): ${row}")
+  endif()
+endforeach()
+
+message(STATUS "rdcn_sim smoke sweep OK: ${line_count} lines, header + 4 checkpoint rows")

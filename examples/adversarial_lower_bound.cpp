@@ -46,9 +46,10 @@ int main() {
     double rand_total = 0.0;
     const int seeds = 7;
     for (int s = 1; s <= seeds; ++s) {
-      core::RBma rbma(inst, {.seed = static_cast<std::uint64_t>(s)});
-      for (const core::Request& r : t) rbma.serve(r);
-      rand_total += static_cast<double>(rbma.costs().total_cost());
+      auto rbma = scenario::make_algorithm(
+          "r_bma", inst, nullptr, static_cast<std::uint64_t>(s));
+      for (const core::Request& r : t) rbma->serve(r);
+      rand_total += static_cast<double>(rbma->costs().total_cost());
     }
     const double rnd = rand_total / seeds / steps;
 

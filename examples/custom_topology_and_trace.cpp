@@ -59,10 +59,14 @@ int main() {
   inst.b = 2;
   inst.alpha = 40;
 
-  for (const char* name : {"r_bma", "bma", "so_bma", "oblivious"}) {
-    auto matcher = core::make_matcher(name, inst, &t, /*seed=*/1);
+  // Algorithm specs resolve through the registry even against a custom
+  // network — parameters ride along in the spec string.
+  for (const char* name : {"r_bma:engine=marking", "bma", "so_bma",
+                           "oblivious"}) {
+    auto matcher = scenario::make_algorithm(name, inst, &t, /*seed=*/1);
     const sim::RunResult r = sim::run_to_completion(*matcher, t);
-    std::cout << "  " << name << ": routing=" << r.final().routing_cost
+    std::cout << "  " << matcher->name() << ": routing="
+              << r.final().routing_cost
               << " reconfig=" << r.final().reconfig_cost
               << " matched {0,7}=" << std::boolalpha
               << matcher->matching().has(0, 7) << "\n";

@@ -22,16 +22,16 @@ int main(int argc, char** argv) {
   std::cout << "fat-tree with " << racks << " racks, b=" << b
             << " optical circuit switches per rack, alpha=60\n\n";
 
-  for (const trace::FacebookCluster cluster :
-       {trace::FacebookCluster::kDatabase, trace::FacebookCluster::kWebService,
-        trace::FacebookCluster::kHadoop}) {
-    Xoshiro256 rng(static_cast<std::uint64_t>(cluster) + 100);
+  // The three cluster profiles by registry name; the workload seed is
+  // threaded through make_workload, so each cluster stays reproducible.
+  const char* clusters[] = {"facebook_db", "facebook_web", "facebook_hadoop"};
+  for (std::size_t c = 0; c < 3; ++c) {
+    Xoshiro256 rng(c + 100);
     const trace::Trace t =
-        trace::generate_facebook_like(cluster, racks, num_requests, rng);
+        scenario::make_workload(clusters[c], racks, num_requests, rng);
     const trace::TraceStats stats = trace::compute_stats(t);
 
-    std::printf("---- %s cluster ----\n",
-                trace::facebook_cluster_name(cluster));
+    std::printf("---- %s cluster ----\n", clusters[c]);
     std::printf(
         "    %zu requests | %zu distinct pairs | gini %.2f | locality %.2f\n",
         t.size(), stats.distinct_pairs, stats.gini, stats.locality_window64);

@@ -1,5 +1,6 @@
-// Quickstart: build a fat-tree, generate a skewed workload, and compare
-// the paper's randomized algorithm (R-BMA) against the deterministic
+// Quickstart: one scenario spec string — topology, workload, algorithms,
+// instance knobs — run end-to-end through the scenario registries, and the
+// paper's randomized algorithm (R-BMA) compared against the deterministic
 // baseline (BMA) and an oblivious network.
 //
 //   $ ./examples/quickstart
@@ -10,50 +11,30 @@
 int main() {
   using namespace rdcn;
 
-  // 1. Fixed network: a fat-tree with 32 racks (ToR switches).
-  const net::Topology topo = net::make_fat_tree(32);
-  std::cout << "topology: " << topo.name << ", racks=" << topo.num_racks()
-            << ", mean rack distance=" << topo.distances.mean_distance()
-            << "\n";
+  // The whole experiment as data: every name and parameter below resolves
+  // through scenario::{Topology,Workload,Algorithm}Registry, so swapping
+  // any component is a string edit (see `rdcn_sim --help` for the catalog).
+  const scenario::ScenarioSpec spec = scenario::ScenarioSpec::parse(
+      "topology=fat_tree;"
+      "workload=flow_pool:pairs=200,skew=1.1,burst=30;"
+      "algorithms=r_bma,bma,oblivious;"
+      "b=4;racks=32;requests=100000;alpha=50;trials=5;checkpoints=5;"
+      "seed=2023");
 
-  // 2. Workload: Zipf-skewed pairs with bursty temporal structure.
-  Xoshiro256 rng(2023);
-  trace::FlowPoolParams params;
-  params.candidate_pairs = 200;
-  params.zipf_skew = 1.1;
-  params.mean_burst_length = 30.0;
-  const trace::Trace workload =
-      trace::generate_flow_pool(32, 100'000, params, rng);
-  const trace::TraceStats stats = trace::compute_stats(workload);
-  std::cout << "workload: " << workload.size() << " requests, "
+  const scenario::ScenarioResult result = scenario::run_scenario(spec);
+
+  std::cout << "topology: " << result.topology.name
+            << ", racks=" << result.topology.num_racks()
+            << ", mean rack distance="
+            << result.topology.distances.mean_distance() << "\n";
+  const trace::TraceStats stats = trace::compute_stats(result.workload);
+  std::cout << "workload: " << result.workload.size() << " requests, "
             << stats.distinct_pairs << " distinct pairs, skew(gini)="
             << stats.gini << ", locality(w64)=" << stats.locality_window64
             << "\n\n";
 
-  // 3. Instance: each rack may keep b = 4 reconfigurable links;
-  //    reconfiguring one link costs alpha = 50 routing-cost units.
-  core::Instance inst;
-  inst.distances = &topo.distances;
-  inst.b = 4;
-  inst.alpha = 50;
-
-  // 4. Run the three algorithms over the same request sequence.
-  sim::ExperimentConfig config;
-  config.distances = &topo.distances;
-  config.alpha = inst.alpha;
-  config.checkpoints = 5;
-  config.trials = 5;
-
-  const std::vector<sim::ExperimentSpec> specs = {
-      {.algorithm = "r_bma", .b = inst.b},
-      {.algorithm = "bma", .b = inst.b},
-      {.algorithm = "oblivious", .b = inst.b},
-  };
-  const std::vector<sim::RunResult> results =
-      sim::run_experiment(config, workload, specs);
-
-  sim::print_table(std::cout, results, sim::Metric::kRoutingCost,
+  sim::print_table(std::cout, result.runs, sim::Metric::kRoutingCost,
                    "quickstart");
-  sim::print_summary(std::cout, results, results.back());  // vs oblivious
+  sim::print_summary(std::cout, result.runs, result.runs.back());  // vs obl.
   return 0;
 }

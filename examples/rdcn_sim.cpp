@@ -2,15 +2,18 @@
 //
 // A downstream user's one-stop tool: pick a topology, a workload, a set of
 // algorithms and cache sizes, and get the paper-style tables (and
-// optionally CSV) without writing C++.
+// optionally CSV) without writing C++.  Everything after the driver flags
+// is resolved through the scenario registries, so components registered
+// anywhere in the library (or via RDCN_REGISTER_*) are immediately
+// available here, with --help text generated from their registered docs.
 //
 // Examples:
-//   rdcn_sim --workload=facebook_db --racks=100 --requests=100000 \
+//   rdcn_sim --workload=facebook_db --racks=100 --requests=100000
 //            --algorithms=r_bma,bma,oblivious --b=6,12,18 --alpha=60
-//   rdcn_sim --workload=microsoft --racks=50 --b=9 --algorithms=r_bma,so_bma \
-//            --csv=out.csv --metric=routing_cost
-//   rdcn_sim --workload=zipf --zipf-skew=1.3 --topology=torus --engine=lru
-//   rdcn_sim --trace=trace.csv --algorithms=r_bma --b=8
+//   rdcn_sim --workload=flow_pool:pairs=2000,skew=1.2,drift=5000
+//            --topology=torus:rows=5,cols=10 --algorithms=r_bma:engine=lru,bma
+//   rdcn_sim --workload=zipf:skew=1.3 --topology=leaf_spine:spines=12
+//   rdcn_sim --trace=trace.csv --algorithms=r_bma --b=8 --csv=out.csv
 #include <fstream>
 #include <iostream>
 
@@ -21,101 +24,82 @@ namespace {
 
 using namespace rdcn;
 
-constexpr const char* kUsage = R"(rdcn_sim — online b-matching simulator
+// The driver's own flag table — the single source for both unknown-flag
+// validation and the flag section of --help.  Component names and their
+// parameters are NOT listed here: that half of the help text is generated
+// from the registries (scenario::catalog_text), so it can never drift.
+struct FlagDoc {
+  const char* name;
+  const char* arg;  ///< "" for boolean flags
+  const char* help;
+};
 
-  --topology=<fat_tree|leaf_spine|star|line|ring|torus|hypercube|expander|complete>
-                         (default fat_tree)
-  --racks=N              number of top-of-rack switches (default 100)
-  --workload=<facebook_db|facebook_web|facebook_hadoop|microsoft|uniform|
-              zipf|hotspot|permutation|round_robin>   (default facebook_db)
-  --zipf-skew=S          skew for --workload=zipf (default 1.0)
-  --trace=FILE           read the workload from a CSV trace instead
-  --requests=N           trace length (default 100000)
-  --algorithms=a,b,c     r_bma|bma|greedy|oblivious|so_bma|offline_dynamic
-                         (default r_bma,bma,oblivious)
-  --b=6,12,18            cache sizes to sweep (default 12)
-  --a=N                  offline degree bound (default = b)
-  --alpha=N              reconfiguration cost (default 60)
-  --engine=NAME          R-BMA paging engine: marking|lru|fifo|clock|random|
-                         flush_when_full|lfu|arc (default marking)
-  --eager                eager (non-lazy) eviction in R-BMA
-  --window=N             window for offline_dynamic (default 10000)
-  --trials=N             repetitions for randomized algorithms (default 5)
-  --checkpoints=N        table rows (default 8)
-  --seed=N               master seed (default 42)
-  --metric=NAME          routing_cost|total_cost|wall_seconds|matching_size|
-                         direct_fraction|reconfig_cost (default routing_cost)
-  --csv=FILE             also write the table as CSV
-  --help                 this text
-)";
+constexpr FlagDoc kFlagDocs[] = {
+    {"topology", "SPEC", "topology spec: name[:k=v,...] (default fat_tree)"},
+    {"racks", "N", "number of top-of-rack switches (default 100)"},
+    {"workload", "SPEC", "workload spec: name[:k=v,...] (default facebook_db)"},
+    {"trace", "FILE", "shorthand for --workload=csv:path=FILE"},
+    {"requests", "N", "trace length (default 100000)"},
+    {"algorithms", "LIST",
+     "comma-separated algorithm specs (default r_bma,bma,oblivious)"},
+    {"b", "LIST", "cache sizes to sweep, e.g. 6,12,18 (default 12)"},
+    {"a", "N", "offline degree bound (default = b)"},
+    {"alpha", "N", "reconfiguration cost (default 60)"},
+    {"trials", "N", "repetitions for randomized algorithms (default 5)"},
+    {"checkpoints", "N", "table rows (default 8)"},
+    {"seed", "N", "master seed (default 42)"},
+    {"metric", "NAME", "which table to print (default routing_cost)"},
+    {"csv", "FILE", "also write the table as CSV"},
+    {"zipf-skew", "S", "deprecated: use --workload=zipf:skew=S"},
+    {"engine", "NAME", "deprecated: use --algorithms=r_bma:engine=NAME"},
+    {"eager", "", "deprecated: use --algorithms=r_bma:eager"},
+    {"window", "N", "deprecated: use --algorithms=offline_dynamic:window=N"},
+    {"help", "", "this text"},
+};
 
-const std::vector<std::string> kKnownFlags = {
-    "topology", "racks", "workload", "zipf-skew", "trace", "requests",
-    "algorithms", "b", "a", "alpha", "engine", "eager", "window", "trials",
-    "checkpoints", "seed", "metric", "csv", "help"};
-
-net::Topology build_topology(const std::string& name, std::size_t racks,
-                             Xoshiro256& rng) {
-  if (name == "fat_tree") return net::make_fat_tree(racks);
-  if (name == "leaf_spine") return net::make_leaf_spine(racks, 8);
-  if (name == "star") return net::make_star(racks);
-  if (name == "line") return net::make_line(racks);
-  if (name == "ring") return net::make_ring(racks);
-  if (name == "torus") {
-    std::size_t rows = 3;
-    while ((rows + 1) * (rows + 1) <= racks) ++rows;
-    return net::make_torus(rows, (racks + rows - 1) / rows);
+std::string usage_text() {
+  std::string out = "rdcn_sim — online b-matching simulator\n\nflags:\n";
+  for (const FlagDoc& f : kFlagDocs) {
+    std::string head = std::string("  --") + f.name;
+    if (f.arg[0] != '\0') head += std::string("=") + f.arg;
+    out += head;
+    out.append(head.size() < 26 ? 26 - head.size() : 1, ' ');
+    out += f.help;
+    out += "\n";
   }
-  if (name == "hypercube") {
-    std::size_t dim = 1;
-    while ((std::size_t{1} << (dim + 1)) <= racks) ++dim;
-    return net::make_hypercube(dim);
-  }
-  if (name == "expander") return net::make_random_regular(racks, 4, rng);
-  if (name == "complete") return net::make_complete(racks);
-  std::cerr << "unknown topology: " << name << "\n";
-  std::exit(2);
+  out += "\nmetrics (--metric): ";
+  const std::vector<std::string>& metrics = sim::metric_names();
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    out += (i == 0 ? "" : " | ") + metrics[i];
+  out += "\n\n";
+  out += scenario::catalog_text();
+  return out;
 }
 
-trace::Trace build_workload(const Flags& flags, std::size_t racks,
-                            std::size_t requests, Xoshiro256& rng) {
-  if (flags.has("trace")) return trace::read_csv_file(flags.get("trace"));
-  const std::string w = flags.get("workload", "facebook_db");
-  if (w == "facebook_db")
-    return trace::generate_facebook_like(trace::FacebookCluster::kDatabase,
-                                         racks, requests, rng);
-  if (w == "facebook_web")
-    return trace::generate_facebook_like(trace::FacebookCluster::kWebService,
-                                         racks, requests, rng);
-  if (w == "facebook_hadoop")
-    return trace::generate_facebook_like(trace::FacebookCluster::kHadoop,
-                                         racks, requests, rng);
-  if (w == "microsoft")
-    return trace::generate_microsoft_like(racks, requests, {}, rng);
-  if (w == "uniform") return trace::generate_uniform(racks, requests, rng);
-  if (w == "zipf")
-    return trace::generate_zipf_pairs(racks, requests,
-                                      flags.get_double("zipf-skew", 1.0),
-                                      rng);
-  if (w == "hotspot")
-    return trace::generate_hotspot(racks, requests, 0.1, 0.8, rng);
-  if (w == "permutation")
-    return trace::generate_permutation(racks, requests, rng);
-  if (w == "round_robin")
-    return trace::generate_round_robin_star(racks, requests, 8);
-  std::cerr << "unknown workload: " << w << "\n";
-  std::exit(2);
+std::vector<std::string> known_flags() {
+  std::vector<std::string> out;
+  for (const FlagDoc& f : kFlagDocs) out.push_back(f.name);
+  return out;
 }
 
-sim::Metric parse_metric(const std::string& name) {
-  if (name == "routing_cost") return sim::Metric::kRoutingCost;
-  if (name == "total_cost") return sim::Metric::kTotalCost;
-  if (name == "wall_seconds") return sim::Metric::kWallSeconds;
-  if (name == "matching_size") return sim::Metric::kMatchingSize;
-  if (name == "direct_fraction") return sim::Metric::kDirectFraction;
-  if (name == "reconfig_cost") return sim::Metric::kReconfigCost;
-  std::cerr << "unknown metric: " << name << "\n";
-  std::exit(2);
+/// Folds the deprecated convenience flags into the specs they configure,
+/// without overriding explicitly given parameters.
+void apply_legacy_flags(const Flags& flags, scenario::ScenarioSpec& spec) {
+  if (flags.has("zipf-skew") && spec.workload.name == "zipf" &&
+      !spec.workload.params.contains("skew"))
+    spec.workload.params.set("skew", flags.get("zipf-skew"));
+  for (Spec& algorithm : spec.algorithms) {
+    if (algorithm.name == "r_bma") {
+      if (flags.has("engine") && !algorithm.params.contains("engine"))
+        algorithm.params.set("engine", flags.get("engine"));
+      if (flags.get_bool("eager", false) &&
+          !algorithm.params.contains("eager"))
+        algorithm.params.set("eager", "true");
+    }
+    if (algorithm.name == "offline_dynamic" && flags.has("window") &&
+        !algorithm.params.contains("window"))
+      algorithm.params.set("window", flags.get("window"));
+  }
 }
 
 }  // namespace
@@ -123,99 +107,65 @@ sim::Metric parse_metric(const std::string& name) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   if (flags.has("help")) {
-    std::cout << kUsage;
+    std::cout << usage_text();
     return 0;
   }
-  const auto unknown = flags.unknown_flags(kKnownFlags);
+  const auto unknown = flags.unknown_flags(known_flags());
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
-    std::cerr << "\n" << kUsage;
+    std::cerr << "\n" << usage_text();
     return 2;
   }
 
-  const std::size_t racks = flags.get_uint("racks", 100);
-  const std::size_t requests = flags.get_uint("requests", 100'000);
-  const std::uint64_t seed = flags.get_uint("seed", 42);
+  try {
+    scenario::ScenarioSpec spec;
+    spec.topology = Spec::parse(flags.get("topology", "fat_tree"));
+    if (flags.has("trace")) {
+      spec.workload.name = "csv";
+      spec.workload.params = ParamMap{};
+      spec.workload.params.set("path", flags.get("trace"));
+    } else {
+      spec.workload = Spec::parse(flags.get("workload", "facebook_db"));
+    }
+    spec.algorithms = scenario::parse_algorithm_list(
+        flags.get("algorithms", "r_bma,bma,oblivious"));
+    for (std::uint64_t b : flags.get_uint_list("b"))
+      spec.cache_sizes.push_back(static_cast<std::size_t>(b));
+    spec.racks = flags.get_uint("racks", 100);
+    spec.requests = flags.get_uint("requests", 100'000);
+    spec.a = flags.get_uint("a", 0);
+    spec.alpha = flags.get_uint("alpha", 60);
+    spec.trials = flags.get_uint("trials", 5);
+    spec.checkpoints = flags.get_uint("checkpoints", 8);
+    spec.seed = flags.get_uint("seed", 42);
+    apply_legacy_flags(flags, spec);
 
-  Xoshiro256 rng(seed);
-  const net::Topology topo =
-      build_topology(flags.get("topology", "fat_tree"), racks, rng);
-  trace::Trace workload = build_workload(flags, racks, requests, rng);
-  if (workload.num_racks() > topo.num_racks()) {
-    std::cerr << "trace uses more racks than the topology provides\n";
+    const sim::Metric metric =
+        sim::parse_metric(flags.get("metric", "routing_cost"));
+
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+
+    const trace::TraceStats stats = trace::compute_stats(result.workload);
+    std::cout << "scenario: " << result.spec.to_string() << "\n";
+    std::cout << "workload=" << result.workload.name()
+              << " racks=" << result.workload.num_racks()
+              << " requests=" << result.workload.size()
+              << " gini=" << stats.gini
+              << " locality64=" << stats.locality_window64 << "\n\n";
+    sim::print_table(std::cout, result.runs, metric, "rdcn_sim");
+    sim::print_summary(std::cout, result.runs, result.runs.back());
+
+    if (flags.has("csv")) {
+      std::ofstream out(flags.get("csv"));
+      sim::write_csv(out, result.runs, metric);
+      std::cout << "wrote " << flags.get("csv") << "\n";
+    }
+  } catch (const std::exception& e) {
+    // SpecError from the registries/spec parsing, std::invalid_argument &
+    // co from the numeric flag getters — either way report, don't abort.
+    std::cerr << "error: " << e.what() << "\n";
+    std::cerr << "run with --help for the full component catalog\n";
     return 2;
-  }
-
-  sim::ExperimentConfig config;
-  config.distances = &topo.distances;
-  config.alpha = flags.get_uint("alpha", 60);
-  config.a = flags.get_uint("a", 0);
-  config.checkpoints = flags.get_uint("checkpoints", 8);
-  config.trials = flags.get_uint("trials", 5);
-  config.base_seed = seed;
-
-  std::vector<std::uint64_t> cache_sizes = flags.get_uint_list("b");
-  if (cache_sizes.empty()) cache_sizes = {12};
-  std::vector<std::string> algorithms = flags.get_list("algorithms");
-  if (algorithms.empty()) algorithms = {"r_bma", "bma", "oblivious"};
-
-  core::RBmaOptions rbma;
-  rbma.engine = paging::parse_engine(flags.get("engine", "marking"));
-  rbma.lazy_eviction = !flags.get_bool("eager", false);
-
-  std::vector<sim::ExperimentSpec> specs;
-  for (const std::string& algo : algorithms) {
-    for (std::uint64_t b : cache_sizes) {
-      sim::ExperimentSpec spec;
-      spec.algorithm = algo == "offline_dynamic" ? "so_bma" : algo;
-      spec.b = b;
-      spec.rbma = rbma;
-      spec.label = algo + "(b=" + std::to_string(b) + ")";
-      specs.push_back(spec);
-      if (algo == "oblivious") break;  // b-independent; one column suffices
-    }
-  }
-
-  // offline_dynamic is not in the factory (it needs its options); run it
-  // through the generic path by swapping the spec afterwards.
-  std::vector<sim::RunResult> results =
-      sim::run_experiment(config, workload, specs);
-  std::size_t spec_index = 0;
-  for (const std::string& algo : algorithms) {
-    for (std::uint64_t b : cache_sizes) {
-      if (algo == "offline_dynamic") {
-        core::Instance inst;
-        inst.distances = &topo.distances;
-        inst.b = b;
-        inst.a = config.a;
-        inst.alpha = config.alpha;
-        core::OfflineDynamicOptions opts;
-        opts.window = flags.get_uint("window", 10'000);
-        core::OfflineDynamic alg(inst, workload, opts);
-        sim::RunResult r = sim::run_simulation(
-            alg, workload,
-            sim::checkpoint_grid(workload.size(), config.checkpoints));
-        r.algorithm = "offline_dynamic(b=" + std::to_string(b) + ")";
-        results[spec_index] = std::move(r);
-      }
-      ++spec_index;
-      if (algo == "oblivious") break;
-    }
-  }
-
-  const sim::Metric metric =
-      parse_metric(flags.get("metric", "routing_cost"));
-  const trace::TraceStats stats = trace::compute_stats(workload);
-  std::cout << "workload=" << workload.name() << " racks=" << racks
-            << " requests=" << workload.size() << " gini=" << stats.gini
-            << " locality64=" << stats.locality_window64 << "\n\n";
-  sim::print_table(std::cout, results, metric, "rdcn_sim");
-  sim::print_summary(std::cout, results, results.back());
-
-  if (flags.has("csv")) {
-    std::ofstream out(flags.get("csv"));
-    sim::write_csv(out, results, metric);
-    std::cout << "wrote " << flags.get("csv") << "\n";
   }
   return 0;
 }

@@ -4,7 +4,9 @@
 //
 // Prints the spatial-skew / temporal-locality fingerprint of each built-in
 // workload family next to the routing-cost reduction R-BMA achieves on it,
-// making the structure -> benefit correlation visible.
+// making the structure -> benefit correlation visible.  Workloads and
+// algorithms are addressed through the scenario registries, so adding a
+// row is one spec string.
 //
 //   $ ./examples/trace_analysis
 #include <cstdio>
@@ -22,19 +24,20 @@ double rbma_reduction(const net::Topology& topo, const trace::Trace& t,
   inst.b = b;
   inst.alpha = 60;
 
-  core::Oblivious obl(inst);
-  for (const core::Request& r : t) obl.serve(r);
+  auto obl = scenario::make_algorithm("oblivious", inst);
+  for (const core::Request& r : t) obl->serve(r);
 
   double rbma = 0.0;
   const int seeds = 3;
   for (int s = 1; s <= seeds; ++s) {
-    core::RBma alg(inst, {.seed = static_cast<std::uint64_t>(s)});
-    for (const core::Request& r : t) alg.serve(r);
-    rbma += static_cast<double>(alg.costs().routing_cost);
+    auto alg = scenario::make_algorithm("r_bma", inst, nullptr,
+                                        static_cast<std::uint64_t>(s));
+    for (const core::Request& r : t) alg->serve(r);
+    rbma += static_cast<double>(alg->costs().routing_cost);
   }
   rbma /= seeds;
   return 100.0 *
-         (1.0 - rbma / static_cast<double>(obl.costs().routing_cost));
+         (1.0 - rbma / static_cast<double>(obl->costs().routing_cost));
 }
 
 }  // namespace
@@ -45,38 +48,27 @@ int main() {
   const net::Topology topo = net::make_fat_tree(racks);
 
   struct Row {
-    const char* name;
-    trace::Trace t;
+    const char* name;  ///< display label
+    const char* spec;  ///< WorkloadRegistry spec string
   };
-  Xoshiro256 rng(1);
-  std::vector<Row> rows;
-  rows.push_back({"uniform (no structure)",
-                  trace::generate_uniform(racks, requests, rng)});
-  rows.push_back({"zipf s=1.2 (spatial only)",
-                  trace::generate_zipf_pairs(racks, requests, 1.2, rng)});
-  rows.push_back(
-      {"microsoft-like (spatial only)",
-       trace::generate_microsoft_like(racks, requests, {}, rng)});
-  rows.push_back({"fb-web (mild both)",
-                  trace::generate_facebook_like(
-                      trace::FacebookCluster::kWebService, racks, requests,
-                      rng)});
-  rows.push_back({"fb-hadoop (bursty)",
-                  trace::generate_facebook_like(
-                      trace::FacebookCluster::kHadoop, racks, requests,
-                      rng)});
-  rows.push_back({"fb-database (skewed+bursty)",
-                  trace::generate_facebook_like(
-                      trace::FacebookCluster::kDatabase, racks, requests,
-                      rng)});
-  rows.push_back({"permutation (ideal)",
-                  trace::generate_permutation(racks, requests, rng)});
+  const Row rows[] = {
+      {"uniform (no structure)", "uniform"},
+      {"zipf s=1.2 (spatial only)", "zipf:skew=1.2"},
+      {"microsoft-like (spatial only)", "microsoft"},
+      {"fb-web (mild both)", "facebook_web"},
+      {"fb-hadoop (bursty)", "facebook_hadoop"},
+      {"fb-database (skewed+bursty)", "facebook_db"},
+      {"permutation (ideal)", "permutation"},
+  };
 
+  Xoshiro256 rng(1);
   std::printf("%-30s %8s %9s %10s %10s %12s\n", "workload", "gini",
               "entropy", "locality", "repeat_p", "R-BMA saves");
   for (const Row& row : rows) {
-    const trace::TraceStats s = trace::compute_stats(row.t);
-    const double saved = rbma_reduction(topo, row.t, b);
+    const trace::Trace t =
+        scenario::make_workload(row.spec, racks, requests, rng);
+    const trace::TraceStats s = trace::compute_stats(t);
+    const double saved = rbma_reduction(topo, t, b);
     std::printf("%-30s %8.2f %9.2f %10.2f %10.3f %11.1f%%\n", row.name,
                 s.gini, s.normalized_pair_entropy, s.locality_window64,
                 s.repeat_probability, saved);

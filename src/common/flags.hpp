@@ -3,6 +3,11 @@
 // Accepts "--key=value" and "--key value" forms plus bare positionals.
 // Typed getters with defaults; unknown-flag detection for user-facing
 // tools.  Deliberately tiny — no external dependency.
+//
+// A token starting with '-' is never consumed as a space-form value (it
+// could equally be the next flag or a negative-number positional, and a
+// boolean flag in front would silently swallow it); negative values must
+// use the '=' form: "--delta=-3".
 #pragma once
 
 #include <cstdint>
@@ -23,8 +28,7 @@ class Flags {
         const std::size_t eq = arg.find('=');
         if (eq != std::string::npos) {
           kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
-        } else if (i + 1 < argc &&
-                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
           kv_.emplace_back(arg, argv[++i]);
         } else {
           kv_.emplace_back(arg, "true");  // boolean flag

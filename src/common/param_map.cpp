@@ -1,0 +1,190 @@
+#include "common/param_map.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace rdcn {
+
+namespace detail {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0, end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::split;
+using detail::trim;
+
+[[noreturn]] void conversion_error(const std::string& key,
+                                   const std::string& value,
+                                   const char* type) {
+  throw SpecError("parameter '" + key + "': cannot parse '" + value +
+                  "' as " + type);
+}
+
+}  // namespace
+
+std::uint64_t ParamMap::parse_uint(const std::string& key,
+                                   const std::string& value) {
+  std::uint64_t out = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end)
+    conversion_error(key, value, "an unsigned integer");
+  return out;
+}
+
+std::int64_t ParamMap::parse_int(const std::string& key,
+                                 const std::string& value) {
+  std::int64_t out = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end)
+    conversion_error(key, value, "an integer");
+  return out;
+}
+
+double ParamMap::parse_double(const std::string& key,
+                              const std::string& value) {
+  if (value.empty()) conversion_error(key, value, "a number");
+  char* end = nullptr;
+  const double out = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size())
+    conversion_error(key, value, "a number");
+  return out;
+}
+
+bool ParamMap::parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on")
+    return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off")
+    return false;
+  conversion_error(key, value, "a boolean (true/false/1/0/yes/no/on/off)");
+}
+
+ParamMap ParamMap::parse(const std::string& text) {
+  ParamMap out;
+  if (trim(text).empty()) return out;
+  for (const std::string& raw : split(text, ',')) {
+    const std::string item = trim(raw);
+    if (item.empty())
+      throw SpecError("empty parameter in spec '" + text + "'");
+    const std::size_t eq = item.find('=');
+    std::string key = eq == std::string::npos ? item : trim(item.substr(0, eq));
+    std::string value =
+        eq == std::string::npos ? "true" : trim(item.substr(eq + 1));
+    if (key.empty())
+      throw SpecError("parameter with empty key in spec '" + text + "'");
+    if (out.contains(key))
+      throw SpecError("duplicate parameter '" + key + "' in spec '" + text +
+                      "'");
+    out.entries_.push_back({std::move(key), std::move(value), false});
+  }
+  // contains() marked keys consumed during duplicate detection; a freshly
+  // parsed map must start untouched.
+  out.reset_consumption();
+  return out;
+}
+
+std::string ParamMap::to_string() const {
+  std::string out;
+  for (const Entry& e : entries_) {
+    if (!out.empty()) out += ',';
+    out += e.key;
+    if (e.value != "true") {
+      out += '=';
+      out += e.value;
+    }
+  }
+  return out;
+}
+
+void ParamMap::set(const std::string& key, const std::string& value) {
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.value = value;
+      return;
+    }
+  }
+  entries_.push_back({key, value, false});
+}
+
+bool ParamMap::contains(const std::string& key) const noexcept {
+  return find(key) != nullptr;
+}
+
+std::vector<std::string> ParamMap::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.key);
+  return out;
+}
+
+const std::string* ParamMap::find(const std::string& key) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.key == key) {
+      e.consumed = true;
+      return &e.value;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ParamMap::unconsumed_keys() const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_)
+    if (!e.consumed) out.push_back(e.key);
+  return out;
+}
+
+void ParamMap::require_all_consumed(const std::string& context) const {
+  const std::vector<std::string> unknown = unconsumed_keys();
+  if (unknown.empty()) return;
+  std::string msg = context + ": unknown parameter";
+  if (unknown.size() > 1) msg += 's';
+  for (std::size_t i = 0; i < unknown.size(); ++i)
+    msg += (i == 0 ? " '" : ", '") + unknown[i] + "'";
+  throw SpecError(msg);
+}
+
+Spec Spec::parse(const std::string& text) {
+  const std::string trimmed = trim(text);
+  const std::size_t colon = trimmed.find(':');
+  Spec out;
+  out.name = trim(colon == std::string::npos ? trimmed
+                                             : trimmed.substr(0, colon));
+  if (out.name.empty()) throw SpecError("spec '" + text + "' has no name");
+  if (colon != std::string::npos)
+    out.params = ParamMap::parse(trimmed.substr(colon + 1));
+  return out;
+}
+
+std::string Spec::to_string() const {
+  const std::string p = params.to_string();
+  return p.empty() ? name : name + ":" + p;
+}
+
+}  // namespace rdcn

@@ -1,5 +1,12 @@
-// rdcn: string-keyed construction of online b-matching algorithms, so
-// benches, examples, and tests can sweep algorithms uniformly.
+// rdcn: DEPRECATED string-keyed construction of online b-matching
+// algorithms.
+//
+// Superseded by scenario::AlgorithmRegistry (scenario/registry.hpp), which
+// adds parameterized specs ("r_bma:engine=lru,eager"), self-registration,
+// generated docs, and friendly unknown-name errors.  This shim keeps the
+// pre-registry signature compiling for downstream code for one release and
+// will be removed in the next; in-tree code has been migrated to
+// scenario::make_algorithm.
 #pragma once
 
 #include <memory>
@@ -18,6 +25,9 @@ namespace rdcn::core {
 ///   "oblivious"     fixed network only
 ///   "rotor"         demand-oblivious rotor baseline (RotorNet-style)
 ///   "so_bma"        static offline (requires full_trace)
+/// Asserts on unknown names (scenario::make_algorithm throws SpecError
+/// with a suggestion instead — prefer it).
+[[deprecated("use scenario::make_algorithm / scenario::AlgorithmRegistry")]]
 std::unique_ptr<OnlineBMatcher> make_matcher(
     const std::string& name, const Instance& instance,
     const trace::Trace* full_trace = nullptr, std::uint64_t seed = 1,

@@ -1,5 +1,7 @@
 #include "paging/factory.hpp"
 
+#include <iterator>
+
 #include "common/assert.hpp"
 #include "paging/arc.hpp"
 #include "paging/clock.hpp"
@@ -12,17 +14,45 @@
 
 namespace rdcn::paging {
 
+namespace {
+
+constexpr EngineKind kAllEngines[] = {
+    EngineKind::kMarking, EngineKind::kLru,           EngineKind::kFifo,
+    EngineKind::kClock,   EngineKind::kRandom,        EngineKind::kFlushWhenFull,
+    EngineKind::kLfu,     EngineKind::kArc,
+};
+// A new EngineKind must be added to kAllEngines or it silently disappears
+// from engine_names()/try_parse_engine (and thus the generated docs).
+static_assert(std::size(kAllEngines) ==
+              static_cast<std::size_t>(EngineKind::kArc) + 1);
+
+}  // namespace
+
+bool try_parse_engine(const std::string& name, EngineKind* out) {
+  for (const EngineKind kind : kAllEngines) {
+    if (engine_name(kind) == name) {
+      if (out != nullptr) *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string>* names = [] {
+    auto* out = new std::vector<std::string>();
+    for (const EngineKind kind : kAllEngines)
+      out->push_back(engine_name(kind));
+    return out;
+  }();
+  return *names;
+}
+
 EngineKind parse_engine(const std::string& name) {
-  if (name == "marking") return EngineKind::kMarking;
-  if (name == "lru") return EngineKind::kLru;
-  if (name == "fifo") return EngineKind::kFifo;
-  if (name == "clock") return EngineKind::kClock;
-  if (name == "random") return EngineKind::kRandom;
-  if (name == "flush_when_full") return EngineKind::kFlushWhenFull;
-  if (name == "lfu") return EngineKind::kLfu;
-  if (name == "arc") return EngineKind::kArc;
-  RDCN_ASSERT_MSG(false, "unknown paging engine name");
-  return EngineKind::kMarking;
+  EngineKind kind = EngineKind::kMarking;
+  RDCN_ASSERT_MSG(try_parse_engine(name, &kind),
+                  "unknown paging engine name");
+  return kind;
 }
 
 std::string engine_name(EngineKind kind) {

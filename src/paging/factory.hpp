@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "paging/paging_algorithm.hpp"
@@ -24,6 +25,14 @@ enum class EngineKind {
 /// Parses "marking" | "lru" | "fifo" | "clock" | "random" |
 /// "flush_when_full" | "lfu" | "arc"; asserts on unknown names.
 EngineKind parse_engine(const std::string& name);
+
+/// Non-asserting variant: returns false on unknown names (for callers that
+/// want to report instead of abort).  `out` may be null to just probe.
+bool try_parse_engine(const std::string& name, EngineKind* out);
+
+/// Every engine name, in declaration order — the single source for help
+/// text and validation lists.
+const std::vector<std::string>& engine_names();
 
 std::string engine_name(EngineKind kind);
 

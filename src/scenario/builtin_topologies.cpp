@@ -1,0 +1,102 @@
+// Built-in topology entries wrapping the net::make_* builders.  The
+// parameter-free auto-sizing (torus rows, hypercube dim, fat-tree k) mirrors
+// what examples/rdcn_sim.cpp historically did, so existing command lines
+// keep producing the same networks.
+#include "net/topology.hpp"
+#include "scenario/builtins.hpp"
+#include "scenario/registry.hpp"
+
+namespace rdcn::scenario {
+
+namespace {
+
+TopologyEntry simple(std::string summary,
+                     net::Topology (*build)(std::size_t)) {
+  TopologyEntry e;
+  e.summary = std::move(summary);
+  e.build = [build](std::size_t racks, const ParamMap&, Xoshiro256&) {
+    return build(racks);
+  };
+  return e;
+}
+
+}  // namespace
+
+void register_builtin_topologies(TopologyRegistry& registry) {
+  {
+    TopologyEntry e;
+    e.summary = "k-ary fat-tree, racks = edge switches (the paper's default)";
+    e.params = {{"k", "explicit arity (even); 0 = smallest k fitting racks",
+                 "0"}};
+    e.build = [](std::size_t racks, const ParamMap& params, Xoshiro256&) {
+      const std::size_t k = params.get<std::size_t>("k", 0);
+      return k == 0 ? net::make_fat_tree(racks) : net::make_fat_tree_k(k);
+    };
+    registry.add("fat_tree", std::move(e));
+  }
+  {
+    TopologyEntry e;
+    e.summary = "two-tier folded Clos: every rack wired to every spine";
+    e.params = {{"spines", "number of spine switches", "8"}};
+    e.build = [](std::size_t racks, const ParamMap& params, Xoshiro256&) {
+      return net::make_leaf_spine(racks, params.get<std::size_t>("spines", 8));
+    };
+    registry.add("leaf_spine", std::move(e));
+  }
+  registry.add("star",
+               simple("one hub, racks at the points (the §2.4 lower-bound "
+                      "construction)",
+                      net::make_star));
+  registry.add("line", simple("path graph (worst-case diameter)",
+                              net::make_line));
+  registry.add("ring", simple("cycle over racks", net::make_ring));
+  registry.add("complete",
+               simple("complete graph (every distance 1: the uniform case "
+                      "of §2)",
+                      net::make_complete));
+  {
+    TopologyEntry e;
+    e.summary = "2-D torus over rows x cols racks";
+    e.params = {{"rows", "grid rows; 0 = auto from racks", "0"},
+                {"cols", "grid cols; 0 = ceil(racks/rows)", "0"}};
+    e.build = [](std::size_t racks, const ParamMap& params, Xoshiro256&) {
+      std::size_t rows = params.get<std::size_t>("rows", 0);
+      std::size_t cols = params.get<std::size_t>("cols", 0);
+      if (rows == 0) {
+        rows = 3;
+        while ((rows + 1) * (rows + 1) <= racks) ++rows;
+      }
+      if (cols == 0) cols = (racks + rows - 1) / rows;
+      return net::make_torus(rows, cols);
+    };
+    registry.add("torus", std::move(e));
+  }
+  {
+    TopologyEntry e;
+    e.summary = "hypercube with 2^dim racks";
+    e.params = {{"dim", "dimension; 0 = largest with 2^dim <= racks", "0"}};
+    e.build = [](std::size_t racks, const ParamMap& params, Xoshiro256&) {
+      std::size_t dim = params.get<std::size_t>("dim", 0);
+      if (dim == 0) {
+        dim = 1;
+        while ((std::size_t{1} << (dim + 1)) <= racks) ++dim;
+      }
+      return net::make_hypercube(dim);
+    };
+    registry.add("hypercube", std::move(e));
+  }
+  {
+    TopologyEntry e;
+    e.summary = "random d-regular expander (Jellyfish-style); consumes the "
+                "scenario seed";
+    e.params = {{"degree", "target vertex degree", "4"}};
+    e.build = [](std::size_t racks, const ParamMap& params, Xoshiro256& rng) {
+      return net::make_random_regular(racks,
+                                      params.get<std::size_t>("degree", 4),
+                                      rng);
+    };
+    registry.add("expander", std::move(e));
+  }
+}
+
+}  // namespace rdcn::scenario

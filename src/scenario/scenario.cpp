@@ -1,0 +1,206 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace rdcn::scenario {
+
+namespace {
+
+// Fully qualified: scenario::detail (the registrar helpers) shadows
+// rdcn::detail here.
+using rdcn::detail::split;
+using rdcn::detail::trim;
+
+/// Scalar fields reuse ParamMap's typed conversion (same SpecErrors).
+template <typename T>
+T parse_scalar(const std::string& key, const std::string& value) {
+  ParamMap one;
+  one.set(key, value);
+  return one.get<T>(key);
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& key,
+                                         const std::string& text) {
+  std::vector<std::size_t> out;
+  for (const std::string& raw : split(text, ','))
+    out.push_back(parse_scalar<std::size_t>(key, trim(raw)));
+  return out;
+}
+
+std::string size_list_to_string(const std::vector<std::size_t>& values) {
+  std::string out;
+  for (std::size_t v : values) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  ScenarioSpec spec;
+  std::vector<std::string> seen;
+  for (const std::string& raw_field : split(text, ';')) {
+    const std::string field = trim(raw_field);
+    if (!field.empty()) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos)
+        throw SpecError("scenario field '" + field +
+                        "' is not of the form key=value");
+      const std::string key = trim(field.substr(0, eq));
+      const std::string value = trim(field.substr(eq + 1));
+      // Same stance as ParamMap::parse: within one spec a repeated key is
+      // a typo, not an override.
+      if (std::find(seen.begin(), seen.end(), key) != seen.end())
+        throw SpecError("duplicate scenario field '" + key + "'");
+      seen.push_back(key);
+      if (key == "topology") {
+        spec.topology = Spec::parse(value);
+      } else if (key == "workload") {
+        spec.workload = Spec::parse(value);
+      } else if (key == "algorithms") {
+        spec.algorithms = parse_algorithm_list(value);
+      } else if (key == "b") {
+        spec.cache_sizes = parse_size_list(key, value);
+      } else if (key == "racks") {
+        spec.racks = parse_scalar<std::size_t>(key, value);
+      } else if (key == "requests") {
+        spec.requests = parse_scalar<std::size_t>(key, value);
+      } else if (key == "a") {
+        spec.a = parse_scalar<std::size_t>(key, value);
+      } else if (key == "alpha") {
+        spec.alpha = parse_scalar<std::uint64_t>(key, value);
+      } else if (key == "trials") {
+        spec.trials = parse_scalar<std::size_t>(key, value);
+      } else if (key == "checkpoints") {
+        spec.checkpoints = parse_scalar<std::size_t>(key, value);
+      } else if (key == "seed") {
+        spec.seed = parse_scalar<std::uint64_t>(key, value);
+      } else if (key == "threads") {
+        spec.threads = parse_scalar<std::size_t>(key, value);
+      } else {
+        throw SpecError(
+            "unknown scenario field '" + key +
+            "'; known: topology, workload, algorithms, b, racks, requests, "
+            "a, alpha, trials, checkpoints, seed, threads");
+      }
+    }
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::to_string() const {
+  const ScenarioSpec r = resolved();
+  std::string algorithms;
+  for (const Spec& a : r.algorithms) {
+    if (!algorithms.empty()) algorithms += ',';
+    algorithms += a.to_string();
+  }
+  std::string out;
+  out += "topology=" + r.topology.to_string();
+  out += ";workload=" + r.workload.to_string();
+  out += ";algorithms=" + algorithms;
+  out += ";b=" + size_list_to_string(r.cache_sizes);
+  out += ";racks=" + std::to_string(r.racks);
+  out += ";requests=" + std::to_string(r.requests);
+  out += ";a=" + std::to_string(r.a);
+  out += ";alpha=" + std::to_string(r.alpha);
+  out += ";trials=" + std::to_string(r.trials);
+  out += ";checkpoints=" + std::to_string(r.checkpoints);
+  out += ";seed=" + std::to_string(r.seed);
+  // threads is an execution detail, not part of the experiment's identity;
+  // the default (0 = hardware concurrency) is omitted so canonical forms
+  // stay machine-independent, but a pinned count must survive the
+  // parse/to_string round-trip.
+  if (r.threads != 0) out += ";threads=" + std::to_string(r.threads);
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::resolved() const {
+  ScenarioSpec out = *this;
+  if (out.algorithms.empty())
+    out.algorithms = {Spec{"r_bma", {}}, Spec{"bma", {}},
+                      Spec{"oblivious", {}}};
+  if (out.cache_sizes.empty()) out.cache_sizes = {12};
+  return out;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
+  const ScenarioSpec spec = raw_spec.resolved();
+
+  // One RNG stream seeds topology construction, then workload generation —
+  // the same order the historical rdcn_sim driver used, so a fixed seed
+  // reproduces its networks and traces exactly.
+  Xoshiro256 rng(spec.seed);
+  ScenarioResult result;
+  result.spec = spec;
+  result.topology =
+      TopologyRegistry::instance().make(spec.topology, spec.racks, rng);
+  // `racks` is a request, not a contract: builders round to their natural
+  // sizes (2^dim hypercubes, rows x cols tori).  Generate the workload over
+  // what the network actually provides so explicit topology dimensions
+  // always yield a runnable scenario.
+  const std::size_t workload_racks =
+      std::min(spec.racks, result.topology.num_racks());
+  result.workload = WorkloadRegistry::instance().make(
+      spec.workload, workload_racks, spec.requests, rng);
+  if (result.workload.num_racks() > result.topology.num_racks())
+    throw SpecError(
+        "workload '" + spec.workload.to_string() + "' uses " +
+        std::to_string(result.workload.num_racks()) +
+        " racks but topology '" + spec.topology.to_string() +
+        "' provides only " + std::to_string(result.topology.num_racks()));
+
+  sim::ExperimentConfig config;
+  config.distances = &result.topology.distances;
+  config.alpha = spec.alpha;
+  config.a = spec.a;
+  config.checkpoints = spec.checkpoints;
+  config.trials = spec.trials;
+  config.base_seed = spec.seed;
+  config.threads = spec.threads;
+
+  const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
+  std::vector<sim::ExperimentSpec> experiment_specs;
+  for (const Spec& algorithm : spec.algorithms) {
+    registry.validate(algorithm);
+    const bool b_independent = registry.at(algorithm.name).b_independent;
+    for (std::size_t b : spec.cache_sizes) {
+      sim::ExperimentSpec e;
+      e.algorithm = algorithm.name;
+      e.b = b;
+      e.params = algorithm.params;
+      e.label = algorithm.to_string() + "(b=" + std::to_string(b) + ")";
+      experiment_specs.push_back(std::move(e));
+      if (b_independent) break;  // one column suffices for a b sweep
+    }
+  }
+
+  result.runs = sim::run_experiment(config, result.workload, experiment_specs);
+  return result;
+}
+
+std::vector<ScenarioResult> run_matrix(const ScenarioSpec& base,
+                                       const std::vector<Spec>& topologies,
+                                       const std::vector<Spec>& workloads) {
+  const std::vector<Spec> topology_axis =
+      topologies.empty() ? std::vector<Spec>{base.topology} : topologies;
+  const std::vector<Spec> workload_axis =
+      workloads.empty() ? std::vector<Spec>{base.workload} : workloads;
+  std::vector<ScenarioResult> out;
+  out.reserve(topology_axis.size() * workload_axis.size());
+  for (const Spec& topology : topology_axis) {
+    for (const Spec& workload : workload_axis) {
+      ScenarioSpec cell = base;
+      cell.topology = topology;
+      cell.workload = workload;
+      out.push_back(run_scenario(cell));
+    }
+  }
+  return out;
+}
+
+}  // namespace rdcn::scenario

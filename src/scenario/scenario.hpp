@@ -1,0 +1,75 @@
+// rdcn: every experiment as data — ScenarioSpec + the scenario runner.
+//
+// A ScenarioSpec names one cell (or a b-sweep column) of the paper's
+// evaluation matrix: a topology spec, a workload spec, a list of algorithm
+// specs, and the shared instance knobs {b values, a, α, trials, seed}.  It
+// parses from and prints to a single line
+//
+//   topology=torus:rows=5,cols=10;workload=flow_pool:pairs=2000,skew=1.2;
+//   algorithms=r_bma:engine=lru,bma;b=6,12;racks=50;requests=100000;...
+//
+// so a whole experiment travels through CLIs, config files, and test
+// goldens as one string.  run_scenario() materializes the spec through the
+// registries and drives sim::run_experiment (trial repetition + thread
+// pool); run_matrix() crosses one base spec with lists of topologies and
+// workloads — the §3.1 evaluation matrix in one call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/param_map.hpp"
+#include "net/topology.hpp"
+#include "scenario/registry.hpp"
+#include "sim/experiment.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::scenario {
+
+struct ScenarioSpec {
+  Spec topology{"fat_tree", {}};
+  Spec workload{"facebook_db", {}};
+  std::vector<Spec> algorithms;  ///< empty = {r_bma, bma, oblivious}
+  std::vector<std::size_t> cache_sizes;  ///< b sweep; empty = {12}
+  std::size_t racks = 100;
+  std::size_t requests = 100'000;
+  std::size_t a = 0;         ///< offline degree bound (0 = same as b)
+  std::uint64_t alpha = 60;
+  std::size_t trials = 5;    ///< repetitions for randomized algorithms
+  std::size_t checkpoints = 8;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;   ///< 0 = hardware concurrency
+
+  /// Parses the semicolon-separated "key=value;..." form (keys as in the
+  /// field names above; "algorithms" uses parse_algorithm_list).  Unknown
+  /// keys raise SpecError.
+  static ScenarioSpec parse(const std::string& text);
+
+  /// Canonical one-line form; parse(to_string()) round-trips.
+  std::string to_string() const;
+
+  /// Defaults applied (algorithms/cache_sizes filled when empty).
+  ScenarioSpec resolved() const;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;  ///< resolved spec this result was produced from
+  net::Topology topology;
+  trace::Trace workload;
+  /// One (trial-averaged) result per algorithm × b, in spec order;
+  /// b-independent algorithms (oblivious) contribute a single entry.
+  std::vector<sim::RunResult> runs;
+};
+
+/// Builds topology and workload from the registries (seed-threaded), then
+/// runs every algorithm × b through sim::run_experiment.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The §3.1 matrix: `base` crossed with every topology × workload
+/// combination, in row-major (topology-outer) order.  Empty lists reuse the
+/// base spec's entry.
+std::vector<ScenarioResult> run_matrix(const ScenarioSpec& base,
+                                       const std::vector<Spec>& topologies,
+                                       const std::vector<Spec>& workloads);
+
+}  // namespace rdcn::scenario

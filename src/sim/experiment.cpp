@@ -1,12 +1,17 @@
 #include "sim/experiment.hpp"
 
+#include <mutex>
+
+#include "scenario/registry.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/simulator.hpp"
 
 namespace rdcn::sim {
 
 bool is_randomized(const std::string& algorithm) {
-  return algorithm == "r_bma";
+  const scenario::AlgorithmEntry* entry =
+      scenario::AlgorithmRegistry::instance().find(algorithm);
+  return entry != nullptr && entry->randomized;
 }
 
 std::vector<RunResult> run_experiment(const ExperimentConfig& config,
@@ -14,6 +19,13 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
                                       const std::vector<ExperimentSpec>& specs) {
   RDCN_ASSERT_MSG(config.distances != nullptr, "config needs distances");
   RDCN_ASSERT_MSG(!trace.empty(), "empty trace");
+
+  // Fail fast on unknown algorithm names / parameters before any trial
+  // spends work (and on this thread, where SpecError can propagate).
+  const scenario::AlgorithmRegistry& registry =
+      scenario::AlgorithmRegistry::instance();
+  for (const ExperimentSpec& spec : specs)
+    registry.validate({spec.algorithm, spec.params});
 
   // Expand specs into independent (spec, trial) tasks.
   struct Task {
@@ -31,6 +43,13 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
   const std::vector<std::uint64_t> grid =
       checkpoint_grid(trace.size(), config.checkpoints);
 
+  // parallel_for tasks must not throw; capture the first construction
+  // error (e.g. a required parameter a custom entry forgot to default)
+  // and rethrow it on the calling thread.
+  std::mutex error_mutex;
+  std::string error;
+  bool failed = false;
+
   std::vector<RunResult> raw(tasks.size());
   parallel_for(
       tasks.size(),
@@ -43,16 +62,24 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
         instance.a = config.a;
         instance.alpha = config.alpha;
 
-        core::RBmaOptions rbma = spec.rbma;
-        rbma.seed = task.seed;
-        auto matcher = core::make_matcher(spec.algorithm, instance, &trace,
-                                          task.seed, &rbma);
-        RunResult r = run_simulation(*matcher, trace, grid);
-        r.seed = task.seed;
-        r.algorithm = spec.display();
-        raw[i] = std::move(r);
+        try {
+          auto matcher = registry.make({spec.algorithm, spec.params},
+                                       instance, &trace, task.seed);
+          RunResult r = run_simulation(*matcher, trace, grid);
+          r.seed = task.seed;
+          r.algorithm = spec.display();
+          raw[i] = std::move(r);
+        } catch (const std::exception& e) {
+          // Any escape would hit parallel_for's no-throw contract and
+          // terminate; downstream-registered builders may throw more than
+          // SpecError.
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!failed) error = e.what();
+          failed = true;
+        }
       },
       config.threads);
+  if (failed) throw SpecError(error);
 
   // Group by spec and average.
   std::vector<RunResult> out;

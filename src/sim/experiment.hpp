@@ -10,8 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "core/factory.hpp"
-#include "core/r_bma.hpp"
+#include "common/param_map.hpp"
 #include "net/distance_matrix.hpp"
 #include "sim/metrics.hpp"
 #include "trace/trace.hpp"
@@ -19,10 +18,10 @@
 namespace rdcn::sim {
 
 struct ExperimentSpec {
-  std::string algorithm;  ///< factory name: r_bma | bma | greedy | oblivious | so_bma
+  std::string algorithm;  ///< scenario::AlgorithmRegistry name ("r_bma", ...)
   std::size_t b = 1;
-  core::RBmaOptions rbma{};  ///< honored when algorithm == "r_bma"
-  std::string label;         ///< display label; default "<algorithm>(b=<b>)"
+  ParamMap params{};  ///< algorithm parameters ("engine=lru,eager", ...)
+  std::string label;  ///< display label; default "<algorithm>(b=<b>)"
 
   std::string display() const {
     return !label.empty()
@@ -41,7 +40,8 @@ struct ExperimentConfig {
   std::size_t threads = 0;    ///< 0 = hardware concurrency
 };
 
-/// Whether an algorithm's behaviour depends on its seed.
+/// Whether an algorithm's behaviour depends on its seed (from its
+/// AlgorithmRegistry entry; unknown names are treated as deterministic).
 bool is_randomized(const std::string& algorithm);
 
 /// Runs every spec over `trace`; returns one (trial-averaged) RunResult per

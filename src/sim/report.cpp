@@ -1,11 +1,28 @@
 #include "sim/report.hpp"
 
 #include <iomanip>
+#include <iterator>
 #include <ostream>
 
 #include "common/assert.hpp"
+#include "common/param_map.hpp"
+#include "scenario/registry.hpp"
 
 namespace rdcn::sim {
+
+namespace {
+
+constexpr Metric kAllMetrics[] = {
+    Metric::kRoutingCost,    Metric::kTotalCost,    Metric::kWallSeconds,
+    Metric::kMatchingSize,   Metric::kDirectFraction,
+    Metric::kReconfigCost,
+};
+// A new Metric member must be added to kAllMetrics or it silently
+// disappears from the generated help and parse_metric.
+static_assert(std::size(kAllMetrics) ==
+              static_cast<std::size_t>(Metric::kReconfigCost) + 1);
+
+}  // namespace
 
 std::string metric_name(Metric metric) {
   switch (metric) {
@@ -17,6 +34,28 @@ std::string metric_name(Metric metric) {
     case Metric::kReconfigCost: return "reconfig_cost";
   }
   return "unknown";
+}
+
+const std::vector<std::string>& metric_names() {
+  static const std::vector<std::string>* names = [] {
+    auto* out = new std::vector<std::string>();
+    for (const Metric m : kAllMetrics) out->push_back(metric_name(m));
+    return out;
+  }();
+  return *names;
+}
+
+Metric parse_metric(const std::string& name) {
+  for (const Metric m : kAllMetrics)
+    if (metric_name(m) == name) return m;
+  std::string msg = "unknown metric '" + name + "'";
+  const std::string suggestion =
+      scenario::nearest_name(name, metric_names());
+  if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+  std::string known;
+  for (const std::string& n : metric_names())
+    known += (known.empty() ? "" : ", ") + n;
+  throw SpecError(msg + "; known: " + known);
 }
 
 double metric_value(const Checkpoint& c, Metric metric) {

@@ -25,6 +25,13 @@ enum class Metric {
 
 std::string metric_name(Metric metric);
 
+/// All metric names in enum order — drives generated CLI help/validation.
+const std::vector<std::string>& metric_names();
+
+/// Inverse of metric_name; throws SpecError (with a nearest-match
+/// suggestion) on unknown names.
+Metric parse_metric(const std::string& name);
+
 double metric_value(const Checkpoint& c, Metric metric);
 
 /// Pretty-prints a fixed-width table: header = algorithm labels, one row

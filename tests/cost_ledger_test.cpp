@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "core/factory.hpp"
+#include "scenario/registry.hpp"
 #include "core/r_bma.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -38,7 +38,7 @@ void expect_ledger_identity(const OnlineBMatcher& m) {
 
 void run_and_check(const Instance& inst, const trace::Trace& t) {
   for (const std::string& name : kChargedAlgorithms) {
-    auto alg = make_matcher(name, inst, &t, /*seed=*/3);
+    auto alg = scenario::make_algorithm(name, inst, &t, /*seed=*/3);
     const sim::RunResult r = sim::run_to_completion(*alg, t);
     expect_ledger_identity(*alg);
     // The final checkpoint mirrors the live ledger exactly.
@@ -59,7 +59,7 @@ TEST(CostLedger, EmptyTrace) {
   inst.alpha = 7;
 
   for (const std::string& name : kChargedAlgorithms) {
-    auto alg = make_matcher(name, inst, &t, /*seed=*/3);
+    auto alg = scenario::make_algorithm(name, inst, &t, /*seed=*/3);
     const sim::RunResult r = sim::run_to_completion(*alg, t);
     expect_ledger_identity(*alg);
     ASSERT_EQ(r.checkpoints.size(), 1u) << name;
@@ -81,7 +81,7 @@ TEST(CostLedger, SingleRequest) {
 
   // The first request can never be a direct serve (matching starts empty),
   // so routing pays the fixed-network distance.
-  auto alg = make_matcher("bma", inst, &t);
+  auto alg = scenario::make_algorithm("bma", inst, &t);
   sim::run_to_completion(*alg, t);
   EXPECT_EQ(alg->costs().direct_serves, 0u);
   EXPECT_GE(alg->costs().routing_cost, topo.distances(1, 5));
@@ -111,7 +111,7 @@ TEST(CostLedger, AlphaZero) {
   inst.alpha = 0;
 
   for (const std::string& name : kChargedAlgorithms) {
-    auto alg = make_matcher(name, inst, &t, /*seed=*/3);
+    auto alg = scenario::make_algorithm(name, inst, &t, /*seed=*/3);
     sim::run_to_completion(*alg, t);
     expect_ledger_identity(*alg);
     EXPECT_EQ(alg->costs().reconfig_cost, 0u) << name;
@@ -142,7 +142,7 @@ TEST(CostLedger, RotorPreScheduledOpsAreNotCharged) {
   inst.b = 2;
   inst.alpha = 9;
 
-  auto rotor = make_matcher("rotor", inst, &t, /*seed=*/3);
+  auto rotor = scenario::make_algorithm("rotor", inst, &t, /*seed=*/3);
   sim::run_to_completion(*rotor, t);
   const CostStats& c = rotor->costs();
   EXPECT_EQ(c.total_cost(), c.routing_cost + c.reconfig_cost);

@@ -10,7 +10,7 @@
 
 #include "common/rng.hpp"
 #include "core/bma.hpp"
-#include "core/factory.hpp"
+#include "scenario/registry.hpp"
 #include "core/r_bma.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -158,8 +158,8 @@ TEST(Determinism, FactoryBuiltMatchersReproducible) {
   inst.alpha = 8;
 
   for (const char* name : {"r_bma", "bma", "greedy", "oblivious", "rotor"}) {
-    auto m1 = make_matcher(name, inst, &t, /*seed=*/5);
-    auto m2 = make_matcher(name, inst, &t, /*seed=*/5);
+    auto m1 = scenario::make_algorithm(name, inst, &t, /*seed=*/5);
+    auto m2 = scenario::make_algorithm(name, inst, &t, /*seed=*/5);
     const sim::RunResult r1 = sim::run_to_completion(*m1, t);
     const sim::RunResult r2 = sim::run_to_completion(*m2, t);
     EXPECT_EQ(r1.final().total_cost, r2.final().total_cost) << name;

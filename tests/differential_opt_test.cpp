@@ -13,7 +13,7 @@
 
 #include "common/rng.hpp"
 #include "core/bma.hpp"
-#include "core/factory.hpp"
+#include "scenario/registry.hpp"
 #include "core/opt_small.hpp"
 #include "core/r_bma.hpp"
 #include "net/distance_matrix.hpp"
@@ -31,7 +31,7 @@ using rdcn::testing::make_instance;
 
 std::uint64_t online_cost(const std::string& name, const Instance& inst,
                           const trace::Trace& t, std::uint64_t seed) {
-  auto alg = make_matcher(name, inst, &t, seed);
+  auto alg = scenario::make_algorithm(name, inst, &t, seed);
   for (const Request& r : t) alg->serve(r);
   return alg->costs().total_cost();
 }

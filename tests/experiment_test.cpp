@@ -95,7 +95,7 @@ TEST_F(ExperimentFixture, ThreadCountDoesNotChangeCosts) {
 
 TEST_F(ExperimentFixture, CustomLabelIsUsed) {
   const std::vector<ExperimentSpec> specs = {
-      {.algorithm = "r_bma", .b = 2, .rbma = {}, .label = "mine"},
+      {.algorithm = "r_bma", .b = 2, .label = "mine"},
   };
   const auto results = run_experiment(config_, trace_, specs);
   EXPECT_EQ(results[0].algorithm, "mine");

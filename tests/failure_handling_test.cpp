@@ -1,11 +1,12 @@
 // Failure-injection tests: the library must fail loudly and immediately on
-// misuse (RDCN_ASSERT aborts), never silently corrupt an experiment.
+// misuse (RDCN_ASSERT aborts; spec-string entry points throw SpecError so
+// drivers can report and exit), never silently corrupt an experiment.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "common/rng.hpp"
-#include "core/factory.hpp"
+#include "scenario/registry.hpp"
 #include "net/topology.hpp"
 #include "paging/belady.hpp"
 #include "paging/factory.hpp"
@@ -16,21 +17,29 @@ namespace {
 
 using namespace rdcn;
 
-TEST(FailureHandling, UnknownMatcherNameAborts) {
+TEST(FailureHandling, UnknownMatcherNameThrows) {
   const auto d = net::DistanceMatrix::uniform(4, 1);
   core::Instance inst;
   inst.distances = &d;
   inst.b = 1;
-  EXPECT_DEATH(core::make_matcher("definitely_not_an_algorithm", inst),
-               "unknown matcher");
+  EXPECT_THROW(scenario::make_algorithm("definitely_not_an_algorithm", inst),
+               SpecError);
 }
 
-TEST(FailureHandling, SoBmaWithoutTraceAborts) {
+TEST(FailureHandling, SoBmaWithoutTraceThrows) {
   const auto d = net::DistanceMatrix::uniform(4, 1);
   core::Instance inst;
   inst.distances = &d;
   inst.b = 1;
-  EXPECT_DEATH(core::make_matcher("so_bma", inst, nullptr), "full trace");
+  EXPECT_THROW(scenario::make_algorithm("so_bma", inst, nullptr), SpecError);
+}
+
+TEST(FailureHandling, UnknownAlgorithmParameterThrows) {
+  const auto d = net::DistanceMatrix::uniform(4, 1);
+  core::Instance inst;
+  inst.distances = &d;
+  inst.b = 1;
+  EXPECT_THROW(scenario::make_algorithm("r_bma:enginee=lru", inst), SpecError);
 }
 
 TEST(FailureHandling, UnknownPagingEngineAborts) {
@@ -76,7 +85,7 @@ TEST(FailureHandling, NonIncreasingCheckpointsAbort) {
   core::Instance inst;
   inst.distances = &d;
   inst.b = 1;
-  auto m = core::make_matcher("oblivious", inst);
+  auto m = scenario::make_algorithm("oblivious", inst);
   trace::Trace t(4, "x");
   t.push_back(trace::Request::make(0, 1));
   t.push_back(trace::Request::make(0, 1));

@@ -83,4 +83,32 @@ TEST(Flags, DoubleAndNegativeValues) {
   EXPECT_EQ(f.get_int("delta", 0), -3);
 }
 
+// Space-form parsing must never swallow a '-'-leading token: after a
+// boolean flag it would be misbound as that flag's value ("--eager -5"
+// used to make eager = "-5"), and a negative-number positional would
+// vanish.  Negative values therefore require the '=' form.
+TEST(Flags, SpaceFormDoesNotSwallowNegativeNumber) {
+  const Flags f = parse({"--eager", "-5"});
+  EXPECT_TRUE(f.get_bool("eager", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "-5");
+}
+
+TEST(Flags, SpaceFormDoesNotSwallowSingleDashToken) {
+  const Flags f = parse({"--out", "-", "--verbose"});
+  // "-" (the stdin/stdout convention) stays positional; --out becomes a
+  // boolean flag rather than binding "-".
+  EXPECT_EQ(f.get("out"), "true");
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "-");
+}
+
+TEST(Flags, NegativeValueViaEqualsFormStillBinds) {
+  const Flags f = parse({"--alpha=-5", "--beta", "7"});
+  EXPECT_EQ(f.get_int("alpha", 0), -5);
+  EXPECT_EQ(f.get_uint("beta", 0), 7u);
+  EXPECT_TRUE(f.positional().empty());
+}
+
 }  // namespace

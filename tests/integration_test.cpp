@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "net/topology.hpp"
+#include "scenario/registry.hpp"
 #include "sim/experiment.hpp"
 #include "trace/facebook_like.hpp"
 #include "trace/microsoft_like.hpp"
@@ -125,7 +126,7 @@ TEST(Integration, AllAlgorithmsKeepFeasibleMatchingsOnEveryWorkload) {
   };
   for (const trace::Trace& t : workloads) {
     for (const char* algo : {"r_bma", "bma", "greedy", "so_bma"}) {
-      auto matcher = core::make_matcher(algo, inst, &t, 3);
+      auto matcher = scenario::make_algorithm(algo, inst, &t, 3);
       for (const core::Request& r : t) matcher->serve(r);
       EXPECT_TRUE(matcher->matching().check_invariants())
           << algo << " on " << t.name();

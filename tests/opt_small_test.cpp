@@ -6,7 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/cost_model.hpp"
-#include "core/factory.hpp"
+#include "scenario/registry.hpp"
 #include "core/opt_small.hpp"
 #include "net/distance_matrix.hpp"
 #include "trace/generators.hpp"
@@ -99,7 +99,7 @@ TEST_P(OptDominance, NoAlgorithmBeatsOpt) {
   const trace::Trace t = trace::generate_uniform(5, 120, rng);
   const Instance inst = make_instance(d, 2, 3);
 
-  auto matcher = make_matcher(algo, inst, &t,
+  auto matcher = scenario::make_algorithm(algo, inst, &t,
                               static_cast<std::uint64_t>(seed) + 7);
   for (const Request& r : t) matcher->serve(r);
   const std::uint64_t opt = optimal_dynamic_cost(inst, t);

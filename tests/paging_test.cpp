@@ -128,8 +128,11 @@ TEST_P(EngineProperty, CoreInvariantsUnderRandomWorkload) {
     // 2. Capacity is never exceeded.
     ASSERT_LE(engine->size(), engine->capacity());
     // 3. Evicted keys are truly gone (unless re-requested — not here).
-    for (Key e : evicted)
-      if (e != k) ASSERT_FALSE(engine->contains(e));
+    for (Key e : evicted) {
+      if (e != k) {
+        ASSERT_FALSE(engine->contains(e));
+      }
+    }
     // 4. Ledger: hits + faults == requests.
     ASSERT_EQ(engine->hits() + engine->faults(), requests);
   }

@@ -1,0 +1,154 @@
+// Tests for the typed parameter map and compact spec strings
+// (common/param_map.hpp) — the data layer of the scenario API.
+#include <gtest/gtest.h>
+
+#include "common/param_map.hpp"
+
+namespace {
+
+using rdcn::ParamMap;
+using rdcn::Spec;
+using rdcn::SpecError;
+
+TEST(ParamMap, ParsesKeyValuesAndBareKeys) {
+  const ParamMap m = ParamMap::parse("b=16,engine=lru,eager");
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.get<std::size_t>("b"), 16u);
+  EXPECT_EQ(m.get<std::string>("engine"), "lru");
+  EXPECT_TRUE(m.get<bool>("eager"));  // bare key ≡ key=true
+}
+
+TEST(ParamMap, EmptyTextParsesToEmptyMap) {
+  EXPECT_TRUE(ParamMap::parse("").empty());
+  EXPECT_TRUE(ParamMap::parse("  ").empty());
+}
+
+TEST(ParamMap, RoundTripsThroughToString) {
+  const char* specs[] = {"b=16,engine=lru,eager", "eager",
+                         "skew=1.2,drift=5000", ""};
+  for (const char* text : specs) {
+    const ParamMap m = ParamMap::parse(text);
+    EXPECT_EQ(m.to_string(), text);
+    EXPECT_TRUE(ParamMap::parse(m.to_string()) == m);
+  }
+}
+
+TEST(ParamMap, ToStringPrintsExplicitTrueAsBareKey) {
+  // "eager=true" and "eager" are the same map; the canonical print is
+  // the compact bare-key form.
+  const ParamMap m = ParamMap::parse("eager=true,b=2");
+  EXPECT_EQ(m.to_string(), "eager,b=2");
+  EXPECT_TRUE(ParamMap::parse(m.to_string()) == m);
+}
+
+TEST(ParamMap, PreservesInsertionOrder) {
+  const ParamMap m = ParamMap::parse("z=1,a=2,m=3");
+  const auto keys = m.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "z");
+  EXPECT_EQ(keys[1], "a");
+  EXPECT_EQ(keys[2], "m");
+  EXPECT_EQ(m.to_string(), "z=1,a=2,m=3");
+}
+
+TEST(ParamMap, DuplicateKeyIsAnError) {
+  EXPECT_THROW(ParamMap::parse("b=2,b=4"), SpecError);
+}
+
+TEST(ParamMap, MalformedItemsAreErrors) {
+  EXPECT_THROW(ParamMap::parse("a=1,,b=2"), SpecError);   // empty item
+  EXPECT_THROW(ParamMap::parse("=5"), SpecError);          // empty key
+}
+
+TEST(ParamMap, RequiredGetterThrowsWhenMissing) {
+  const ParamMap m = ParamMap::parse("a=1");
+  EXPECT_THROW(m.get<std::size_t>("b"), SpecError);
+  EXPECT_THROW(m.get<std::string>("b"), SpecError);
+}
+
+TEST(ParamMap, DefaultedGetterFallsBack) {
+  const ParamMap m = ParamMap::parse("a=1");
+  EXPECT_EQ(m.get<std::size_t>("b", 7), 7u);
+  EXPECT_EQ(m.get<std::string>("name", "x"), "x");
+  EXPECT_DOUBLE_EQ(m.get<double>("skew", 1.5), 1.5);
+  EXPECT_TRUE(m.get<bool>("flag", true));
+}
+
+TEST(ParamMap, TypedConversionEdgeCases) {
+  const ParamMap m = ParamMap::parse(
+      "u=18446744073709551615,neg=-3,d=1e3,frac=0.25,t=yes,f=off");
+  EXPECT_EQ(m.get<std::uint64_t>("u"), 18446744073709551615ull);
+  EXPECT_EQ(m.get<std::int64_t>("neg"), -3);
+  EXPECT_DOUBLE_EQ(m.get<double>("d"), 1000.0);
+  EXPECT_DOUBLE_EQ(m.get<double>("frac"), 0.25);
+  EXPECT_TRUE(m.get<bool>("t"));
+  EXPECT_FALSE(m.get<bool>("f"));
+}
+
+TEST(ParamMap, ConversionFailuresThrow) {
+  const ParamMap m =
+      ParamMap::parse("bad=12x,neg=-3,big=300,word=maybe,empty=");
+  EXPECT_THROW(m.get<std::size_t>("bad"), SpecError);   // trailing garbage
+  EXPECT_THROW(m.get<std::uint64_t>("neg"), SpecError); // negative→unsigned
+  EXPECT_THROW(m.get<std::uint8_t>("big"), SpecError);  // narrowing overflow
+  EXPECT_THROW(m.get<bool>("word"), SpecError);
+  EXPECT_THROW(m.get<double>("empty"), SpecError);
+}
+
+TEST(ParamMap, UnconsumedKeyTracking) {
+  const ParamMap m = ParamMap::parse("a=1,b=2,typo=3");
+  (void)m.get<std::size_t>("a");
+  (void)m.get<std::size_t>("b", 0);
+  const auto unconsumed = m.unconsumed_keys();
+  ASSERT_EQ(unconsumed.size(), 1u);
+  EXPECT_EQ(unconsumed[0], "typo");
+  EXPECT_THROW(m.require_all_consumed("algorithm 'x'"), SpecError);
+  (void)m.get<std::size_t>("typo");
+  m.require_all_consumed("algorithm 'x'");  // all read now: no throw
+}
+
+TEST(ParamMap, ResetConsumptionForgetsReads) {
+  const ParamMap m = ParamMap::parse("a=1");
+  (void)m.get<std::size_t>("a");
+  EXPECT_TRUE(m.unconsumed_keys().empty());
+  m.reset_consumption();
+  EXPECT_EQ(m.unconsumed_keys().size(), 1u);
+}
+
+TEST(ParamMap, SetInsertsAndOverwrites) {
+  ParamMap m;
+  m.set("a", "1");
+  m.set("b", "2");
+  m.set("a", "9");
+  EXPECT_EQ(m.get<std::size_t>("a"), 9u);
+  EXPECT_EQ(m.to_string(), "a=9,b=2");
+}
+
+TEST(Spec, ParsesNameOnlyAndNameWithParams) {
+  const Spec plain = Spec::parse("bma");
+  EXPECT_EQ(plain.name, "bma");
+  EXPECT_TRUE(plain.params.empty());
+
+  const Spec full = Spec::parse("r_bma:b=16,engine=lru,eager");
+  EXPECT_EQ(full.name, "r_bma");
+  EXPECT_EQ(full.params.get<std::size_t>("b"), 16u);
+  EXPECT_EQ(full.params.get<std::string>("engine"), "lru");
+  EXPECT_TRUE(full.params.get<bool>("eager"));
+}
+
+TEST(Spec, RoundTripsThroughToString) {
+  for (const char* text :
+       {"bma", "r_bma:b=16,engine=lru,eager",
+        "flow_pool:pairs=2000,skew=1.2,drift=5000"}) {
+    const Spec s = Spec::parse(text);
+    EXPECT_EQ(s.to_string(), text);
+    EXPECT_TRUE(Spec::parse(s.to_string()) == s);
+  }
+}
+
+TEST(Spec, EmptyNameIsAnError) {
+  EXPECT_THROW(Spec::parse(""), SpecError);
+  EXPECT_THROW(Spec::parse(":a=1"), SpecError);
+}
+
+}  // namespace

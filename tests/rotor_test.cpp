@@ -3,7 +3,7 @@
 
 #include "common/flat_hash.hpp"
 #include "common/rng.hpp"
-#include "core/factory.hpp"
+#include "scenario/registry.hpp"
 #include "core/rotor.hpp"
 #include "net/topology.hpp"
 #include "trace/generators.hpp"
@@ -80,7 +80,7 @@ TEST(Rotor, ObliviousToDemandButBeatsFixedNetwork) {
   const Instance inst = make_instance(topo.distances, 4, 30);
 
   auto run = [&](const char* algo) {
-    auto m = core::make_matcher(algo, inst, &t, 3);
+    auto m = scenario::make_algorithm(algo, inst, &t, 3);
     for (const Request& r : t) m->serve(r);
     return m->costs().routing_cost;
   };
@@ -108,7 +108,7 @@ TEST(Rotor, ResetRestartsSchedule) {
 
 TEST(Rotor, FactoryConstructs) {
   const auto d = net::DistanceMatrix::uniform(8, 2);
-  auto m = make_matcher("rotor", make_instance(d, 2, 10));
+  auto m = scenario::make_algorithm("rotor", make_instance(d, 2, 10));
   EXPECT_EQ(m->name(), "rotor");
 }
 

@@ -1,0 +1,172 @@
+// Tests for the scenario runner (scenario/scenario.hpp): ScenarioSpec
+// parse/print goldens, end-to-end run_scenario, b-independence handling,
+// and the run_matrix cross product.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace rdcn;
+using scenario::ScenarioResult;
+using scenario::ScenarioSpec;
+
+// The canonical one-line form is a public contract (drivers echo it, logs
+// and sweep tooling parse it) — pin it exactly.
+TEST(ScenarioSpec, GoldenCanonicalForm) {
+  ScenarioSpec spec;
+  spec.topology = Spec::parse("torus:rows=5,cols=10");
+  spec.workload = Spec::parse("flow_pool:pairs=2000,skew=1.2");
+  spec.algorithms = {Spec::parse("r_bma:engine=lru"), Spec::parse("bma")};
+  spec.cache_sizes = {6, 12};
+  spec.racks = 50;
+  spec.requests = 30'000;
+  spec.alpha = 60;
+  spec.trials = 3;
+  spec.checkpoints = 4;
+  spec.seed = 7;
+  const std::string golden =
+      "topology=torus:rows=5,cols=10;"
+      "workload=flow_pool:pairs=2000,skew=1.2;"
+      "algorithms=r_bma:engine=lru,bma;"
+      "b=6,12;racks=50;requests=30000;a=0;alpha=60;trials=3;checkpoints=4;"
+      "seed=7";
+  EXPECT_EQ(spec.to_string(), golden);
+}
+
+TEST(ScenarioSpec, ParseRoundTripsThroughToString) {
+  const std::string text =
+      "topology=torus:rows=5,cols=10;"
+      "workload=flow_pool:pairs=2000,skew=1.2;"
+      "algorithms=r_bma:engine=lru,bma;"
+      "b=6,12;racks=50;requests=30000;a=0;alpha=60;trials=3;checkpoints=4;"
+      "seed=7";
+  const ScenarioSpec spec = ScenarioSpec::parse(text);
+  EXPECT_EQ(spec.to_string(), text);
+  EXPECT_EQ(spec.topology.name, "torus");
+  EXPECT_EQ(spec.workload.params.get<double>("skew"), 1.2);
+  ASSERT_EQ(spec.algorithms.size(), 2u);
+  EXPECT_EQ(spec.algorithms[0].params.get<std::string>("engine"), "lru");
+  ASSERT_EQ(spec.cache_sizes.size(), 2u);
+  EXPECT_EQ(spec.cache_sizes[1], 12u);
+}
+
+TEST(ScenarioSpec, PinnedThreadCountRoundTrips) {
+  // threads=0 (hardware concurrency) is omitted from the canonical form;
+  // an explicitly pinned count must survive the round-trip.
+  const ScenarioSpec spec = ScenarioSpec::parse("threads=4");
+  EXPECT_NE(spec.to_string().find(";threads=4"), std::string::npos);
+  EXPECT_EQ(ScenarioSpec::parse(spec.to_string()).threads, 4u);
+}
+
+TEST(ScenarioSpec, DefaultsAreAppliedOnResolve) {
+  const ScenarioSpec spec = ScenarioSpec::parse("racks=20;requests=1000");
+  const ScenarioSpec r = spec.resolved();
+  EXPECT_EQ(r.topology.name, "fat_tree");
+  EXPECT_EQ(r.workload.name, "facebook_db");
+  ASSERT_EQ(r.algorithms.size(), 3u);  // r_bma, bma, oblivious
+  ASSERT_EQ(r.cache_sizes.size(), 1u);
+  EXPECT_EQ(r.cache_sizes[0], 12u);
+}
+
+TEST(ScenarioSpec, MalformedFieldsThrow) {
+  EXPECT_THROW(ScenarioSpec::parse("racks"), SpecError);        // no '='
+  EXPECT_THROW(ScenarioSpec::parse("bogus=1"), SpecError);      // unknown key
+  EXPECT_THROW(ScenarioSpec::parse("racks=ten"), SpecError);    // bad value
+  EXPECT_THROW(ScenarioSpec::parse("b=2;racks=8;b=4"),          // typo'd dup
+               SpecError);
+}
+
+TEST(RunScenario, EndToEndProducesOneRunPerAlgorithmTimesB) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "topology=leaf_spine:spines=4;workload=zipf:skew=1.1;"
+      "algorithms=r_bma:engine=lru,bma;b=2,4;racks=12;requests=4000;"
+      "alpha=8;trials=2;checkpoints=4;seed=5");
+  const ScenarioResult result = scenario::run_scenario(spec);
+  EXPECT_EQ(result.topology.num_racks(), 12u);
+  EXPECT_EQ(result.workload.size(), 4000u);
+  ASSERT_EQ(result.runs.size(), 4u);  // 2 algorithms × 2 cache sizes
+  EXPECT_EQ(result.runs[0].algorithm, "r_bma:engine=lru(b=2)");
+  EXPECT_EQ(result.runs[1].algorithm, "r_bma:engine=lru(b=4)");
+  EXPECT_EQ(result.runs[2].algorithm, "bma(b=2)");
+  EXPECT_EQ(result.runs[3].algorithm, "bma(b=4)");
+  for (const sim::RunResult& r : result.runs) {
+    ASSERT_EQ(r.checkpoints.size(), 4u);
+    EXPECT_GT(r.final().routing_cost, 0u);
+  }
+}
+
+TEST(RunScenario, IsSeedReproducible) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "topology=expander:degree=3;workload=flow_pool:pairs=50;"
+      "algorithms=r_bma;b=2;racks=10;requests=2000;trials=2;checkpoints=2;"
+      "seed=9");
+  const ScenarioResult a = scenario::run_scenario(spec);
+  const ScenarioResult b = scenario::run_scenario(spec);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].final().routing_cost,
+              b.runs[i].final().routing_cost);
+    EXPECT_EQ(a.runs[i].final().reconfig_cost,
+              b.runs[i].final().reconfig_cost);
+  }
+}
+
+TEST(RunScenario, BIndependentAlgorithmsRunOncePerSweep) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "workload=uniform;algorithms=bma,oblivious;b=2,4,8;racks=8;"
+      "requests=1000;checkpoints=2;seed=3");
+  const ScenarioResult result = scenario::run_scenario(spec);
+  // bma contributes 3 columns, oblivious exactly one.
+  ASSERT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.runs.back().algorithm, "oblivious(b=2)");
+}
+
+TEST(RunScenario, GeneratedWorkloadClampsToTopologyRacks) {
+  // A 2^3=8-rack hypercube cannot host a 12-rack workload; generated
+  // workloads clamp to what the network provides instead of erroring, so
+  // explicit topology dimensions always yield a runnable scenario.
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "topology=hypercube:dim=3;workload=uniform;algorithms=bma;racks=12;"
+      "requests=100;checkpoints=2");
+  const ScenarioResult result = scenario::run_scenario(spec);
+  EXPECT_EQ(result.topology.num_racks(), 8u);
+  EXPECT_EQ(result.workload.num_racks(), 8u);
+}
+
+TEST(RunScenario, OversizedImportedWorkloadIsRejected) {
+  // CSV imports carry their own rack universe and cannot be clamped.
+  const std::string path = ::testing::TempDir() + "rdcn_scenario_test.csv";
+  {
+    std::ofstream out(path);
+    out << "# racks=12 name=too_big\n0,11\n1,10\n";
+  }
+  ScenarioSpec spec = ScenarioSpec::parse(
+      "topology=hypercube:dim=3;algorithms=bma;racks=12;requests=100");
+  spec.workload.name = "csv";
+  spec.workload.params.set("path", path);
+  EXPECT_THROW(scenario::run_scenario(spec), SpecError);
+}
+
+TEST(RunMatrix, CrossesTopologiesWithWorkloads) {
+  // Even rack count (permutation requires it); torus needs >= 3x3.
+  ScenarioSpec base = ScenarioSpec::parse(
+      "algorithms=bma;b=2;racks=12;requests=800;checkpoints=2;seed=2");
+  const std::vector<Spec> topologies = {Spec::parse("ring"),
+                                        Spec::parse("torus:rows=3,cols=4")};
+  const std::vector<Spec> workloads = {Spec::parse("uniform"),
+                                       Spec::parse("zipf:skew=1.3"),
+                                       Spec::parse("permutation")};
+  const auto results = scenario::run_matrix(base, topologies, workloads);
+  ASSERT_EQ(results.size(), 6u);  // 2 × 3, topology-major
+  EXPECT_EQ(results[0].spec.topology.name, "ring");
+  EXPECT_EQ(results[0].spec.workload.name, "uniform");
+  EXPECT_EQ(results[4].spec.topology.name, "torus");
+  EXPECT_EQ(results[4].spec.workload.name, "zipf");
+  for (const ScenarioResult& r : results)
+    EXPECT_EQ(r.runs.size(), 1u);
+}
+
+}  // namespace

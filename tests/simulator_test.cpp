@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
-#include "core/factory.hpp"
+#include "scenario/registry.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
@@ -18,7 +18,7 @@ using rdcn::testing::make_instance;
 TEST(RunSimulation, EmptyTraceYieldsZeroLedger) {
   const net::Topology topo = net::make_fat_tree(8);
   const trace::Trace t(8, "empty");
-  auto alg = core::make_matcher("bma", make_instance(topo.distances, 2, 5));
+  auto alg = scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
   const RunResult r = run_to_completion(*alg, t);
   ASSERT_EQ(r.checkpoints.size(), 1u);
   EXPECT_EQ(r.final().requests, 0u);
@@ -30,7 +30,7 @@ TEST(RunSimulation, CheckpointAtZeroSnapshotsPreTraceState) {
   const net::Topology topo = net::make_fat_tree(8);
   Xoshiro256 rng(3);
   const trace::Trace t = trace::generate_uniform(8, 100, rng);
-  auto alg = core::make_matcher("bma", make_instance(topo.distances, 2, 5));
+  auto alg = scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
   const RunResult r = run_simulation(*alg, t, {0, t.size()});
   ASSERT_EQ(r.checkpoints.size(), 2u);
   EXPECT_EQ(r.checkpoints[0].requests, 0u);
@@ -45,7 +45,7 @@ TEST(RunSimulation, GridEndingAtZeroServesNothing) {
   const net::Topology topo = net::make_fat_tree(8);
   Xoshiro256 rng(4);
   const trace::Trace t = trace::generate_uniform(8, 100, rng);
-  auto alg = core::make_matcher("bma", make_instance(topo.distances, 2, 5));
+  auto alg = scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
   const RunResult r = run_simulation(*alg, t, {0});
   ASSERT_EQ(r.checkpoints.size(), 1u);
   EXPECT_EQ(r.final().requests, 0u);
@@ -72,7 +72,7 @@ TEST(Simulator, CheckpointsAreCumulativeAndMonotone) {
   const net::Topology topo = net::make_fat_tree(16);
   Xoshiro256 rng(1);
   const trace::Trace t = trace::generate_zipf_pairs(16, 8000, 1.0, rng);
-  auto matcher = core::make_matcher("r_bma", make_instance(topo.distances, 3, 8),
+  auto matcher = scenario::make_algorithm("r_bma", make_instance(topo.distances, 3, 8),
                                     &t, 5);
   const RunResult r = run_simulation(*matcher, t, checkpoint_grid(t.size(), 8));
   ASSERT_EQ(r.checkpoints.size(), 8u);
@@ -94,10 +94,10 @@ TEST(Simulator, MatchesManualServeLoop) {
   const trace::Trace t = trace::generate_uniform(12, 3000, rng);
   const core::Instance inst = make_instance(topo.distances, 2, 6);
 
-  auto a = core::make_matcher("bma", inst, &t, 1);
+  auto a = scenario::make_algorithm("bma", inst, &t, 1);
   const RunResult r = run_to_completion(*a, t);
 
-  auto b = core::make_matcher("bma", inst, &t, 1);
+  auto b = scenario::make_algorithm("bma", inst, &t, 1);
   for (const core::Request& req : t) b->serve(req);
 
   EXPECT_EQ(r.final().routing_cost, b->costs().routing_cost);
@@ -110,7 +110,7 @@ TEST(Simulator, ObliviousCostIsSumOfDistances) {
   Xoshiro256 rng(3);
   const trace::Trace t = trace::generate_uniform(12, 2000, rng);
   auto matcher =
-      core::make_matcher("oblivious", make_instance(topo.distances, 2, 6), &t, 1);
+      scenario::make_algorithm("oblivious", make_instance(topo.distances, 2, 6), &t, 1);
   const RunResult r = run_to_completion(*matcher, t);
   std::uint64_t expected = 0;
   for (const core::Request& req : t) expected += topo.distances(req.u, req.v);
@@ -123,8 +123,8 @@ TEST(Metrics, AverageRunsIsExactForIdenticalRuns) {
   Xoshiro256 rng(4);
   const trace::Trace t = trace::generate_uniform(12, 2000, rng);
   const core::Instance inst = make_instance(topo.distances, 2, 6);
-  auto m1 = core::make_matcher("bma", inst, &t, 1);
-  auto m2 = core::make_matcher("bma", inst, &t, 1);
+  auto m1 = scenario::make_algorithm("bma", inst, &t, 1);
+  auto m2 = scenario::make_algorithm("bma", inst, &t, 1);
   const RunResult r1 = run_simulation(*m1, t, checkpoint_grid(t.size(), 4));
   const RunResult r2 = run_simulation(*m2, t, checkpoint_grid(t.size(), 4));
   const RunResult avg = average_runs({r1, r2});

@@ -19,7 +19,7 @@ TEST(Smoke, EndToEndTinySimulation) {
   inst.alpha = 10;
 
   for (const char* name : {"r_bma", "bma", "greedy", "oblivious", "so_bma"}) {
-    auto matcher = core::make_matcher(name, inst, &t, 1);
+    auto matcher = scenario::make_algorithm(name, inst, &t, 1);
     const sim::RunResult r = sim::run_to_completion(*matcher, t);
     EXPECT_EQ(r.final().requests, t.size()) << name;
     EXPECT_GT(r.final().routing_cost, 0u) << name;
