@@ -48,6 +48,9 @@ constexpr FlagDoc kFlagDocs[] = {
     {"trials", "N", "repetitions for randomized algorithms (default 5)"},
     {"checkpoints", "N", "table rows (default 8)"},
     {"seed", "N", "master seed (default 42)"},
+    {"threads", "N",
+     "worker threads for trial execution (0 = all cores; results are "
+     "thread-count independent)"},
     {"metric", "NAME", "which table to print (default routing_cost)"},
     {"csv", "FILE", "also write the table as CSV"},
     {"zipf-skew", "S", "deprecated: use --workload=zipf:skew=S"},
@@ -138,6 +141,7 @@ int main(int argc, char** argv) {
     spec.trials = flags.get_uint("trials", 5);
     spec.checkpoints = flags.get_uint("checkpoints", 8);
     spec.seed = flags.get_uint("seed", 42);
+    spec.threads = flags.get_uint("threads", 0);
     apply_legacy_flags(flags, spec);
 
     const sim::Metric metric =

@@ -213,6 +213,16 @@ class FlatMap {
 
   std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Hints the cache that a lookup for `key` is imminent: touches the tag
+  /// line and home slot a probe for `key` starts at.  Purely advisory (no
+  /// semantic effect); used by batch serve loops that know the next
+  /// request while processing the current one.
+  void prefetch(std::uint64_t key) const noexcept {
+    const std::uint64_t h = detail::mix64(key);
+    __builtin_prefetch(tags_.data() + (h & mask_));
+    __builtin_prefetch(slots_.data() + (h & mask_));
+  }
+
  private:
   static constexpr std::uint8_t kEmptyTag = 0;
 

@@ -25,8 +25,53 @@ void Bma::on_request(const Request& r, bool matched) {
     return;
   }
 
+  charge_and_maybe_admit(r, key, dist(r.u, r.v));
+}
+
+void Bma::serve_batch(std::span<const Request> batch) {
+  RoutingDelta acc;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    // One-request lookahead (only a batch knows its future): pull the next
+    // request's pair record and incident rows toward the cache while the
+    // current scans run.  Advisory only — no semantic effect.
+    if (i + 1 < batch.size()) {
+      const Request& next = batch[i + 1];
+      pairs_.prefetch(pair_key(next));
+      __builtin_prefetch(incident_[next.u].data());
+      __builtin_prefetch(incident_[next.v].data());
+    }
+    RDCN_DCHECK(r.u != r.v);
+    ++clock_;
+    const std::uint64_t key = pair_key(r);
+    request_state_ = nullptr;
+    eviction_candidate_[r.u] = scan_eviction_candidate(r.u, key);
+    eviction_candidate_[r.v] = scan_eviction_candidate(r.v, key);
+    ++acc.requests;
+    // The incident rows mirror the matching adjacency (both mutate only at
+    // admission/eviction), so the pair is matched iff a scan captured its
+    // record — same verdict matching().has() would return, one Θ(b) probe
+    // cheaper.  The scans read but never mutate the matching, so routing
+    // still sees the pre-reconfiguration state the cost model prescribes.
+    RDCN_DCHECK((request_state_ != nullptr) ==
+                matching_view().has(r.u, r.v));
+    if (PairState* matched_state = request_state_) {
+      acc.routing_cost += 1;
+      ++acc.direct_serves;
+      ++matched_state->usage;
+      continue;
+    }
+    const std::uint64_t d = dist(r.u, r.v);
+    acc.routing_cost += d;
+    charge_and_maybe_admit(r, key, d);
+  }
+  commit_routing(acc);
+}
+
+void Bma::charge_and_maybe_admit(const Request& r, std::uint64_t key,
+                                 std::uint64_t d) {
   PairState& s = *pairs_.try_emplace(key).first;
-  s.charge += dist(r.u, r.v);
+  s.charge += d;
   if (s.charge < alpha()) return;
 
   // The pair has paid α in fixed-network routing: admit it.

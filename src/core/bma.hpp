@@ -48,6 +48,14 @@ class Bma final : public OnlineBMatcher {
 
   std::string name() const override { return "bma"; }
 
+  /// Devirtualized chunk loop.  Beyond skipping the per-request virtual
+  /// dispatch, it *fuses* the matched-membership check into the two
+  /// eviction-candidate scans: the incident rows mirror the matching
+  /// adjacency exactly, so the request's pair is matched iff one of the
+  /// scans captured its record (request_state_) — the separate adjacency
+  /// probe serve() pays disappears entirely.
+  void serve_batch(std::span<const Request> batch) override;
+
   void reset() override {
     OnlineBMatcher::reset();
     pairs_.clear();
@@ -75,6 +83,12 @@ class Bma final : public OnlineBMatcher {
   };
 
   void on_request(const Request& r, bool matched) override;
+
+  /// Shared non-matched tail of the request path: accumulates `d` into the
+  /// pair's counter and admits the pair once it has paid α (evicting at
+  /// full endpoints).  `d` must equal dist(r.u, r.v).
+  void charge_and_maybe_admit(const Request& r, std::uint64_t key,
+                              std::uint64_t d);
 
   /// Θ(b) scan: recomputes the least-used incident matching edge at w.
   /// While iterating the row it also captures the record of `request_key`

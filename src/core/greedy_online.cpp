@@ -1,5 +1,22 @@
 #include "core/greedy_online.hpp"
 
 namespace rdcn::core {
-// Header-only implementation; TU anchors the vtable.
+
+void GreedyOnline::serve_batch(std::span<const Request> batch) {
+  RoutingDelta acc;
+  for (const Request& r : batch) {
+    RDCN_DCHECK(r.u != r.v);
+    const BMatching& m = matching_view();
+    const bool matched = m.has(r.u, r.v);
+    const std::uint64_t d = dist(r.u, r.v);
+    acc.routing_cost += matched ? 1 : d;
+    ++acc.requests;
+    acc.direct_serves += matched ? 1 : 0;
+    if (!matched && !m.full(r.u) && !m.full(r.v) && d > 1) {
+      add_matching_edge(r.u, r.v);
+    }
+  }
+  commit_routing(acc);
+}
+
 }  // namespace rdcn::core

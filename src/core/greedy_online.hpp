@@ -18,6 +18,10 @@ class GreedyOnline final : public OnlineBMatcher {
 
   std::string name() const override { return "greedy_online"; }
 
+  /// Devirtualized chunk loop: membership, routing accumulation, and the
+  /// spare-degree install test in one pass, one distance load per request.
+  void serve_batch(std::span<const Request> batch) override;
+
  private:
   void on_request(const Request& r, bool matched) override {
     if (matched) return;

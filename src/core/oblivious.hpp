@@ -13,6 +13,11 @@ class Oblivious final : public OnlineBMatcher {
 
   std::string name() const override { return "oblivious"; }
 
+  /// Devirtualized chunk loop: the matching is permanently empty (nothing
+  /// ever calls the mutators), so a batch is a straight gather over the
+  /// distance matrix — no membership probe, no virtual no-op call.
+  void serve_batch(std::span<const Request> batch) override;
+
  private:
   void on_request(const Request&, bool) override {}
 };

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/b_matching.hpp"
@@ -37,6 +38,17 @@ class OnlineBMatcher {
     on_request(r, matched);
   }
 
+  /// Serves a contiguous chunk of requests.  Semantically equivalent to
+  /// calling serve() per request — the ledger after the batch is
+  /// bit-identical — but overridable so the hot algorithms can run a
+  /// devirtualized inner loop (one virtual dispatch per chunk instead of
+  /// one per request, routing accumulation in registers, hoisted instance
+  /// state).  Overrides must preserve the cost model exactly: route with
+  /// the *current* matching first, then reconfigure.
+  virtual void serve_batch(std::span<const Request> batch) {
+    for (const Request& r : batch) serve(r);
+  }
+
   const BMatching& matching() const noexcept { return matching_; }
   const CostStats& costs() const noexcept { return costs_; }
   const Instance& instance() const noexcept { return instance_; }
@@ -53,6 +65,22 @@ class OnlineBMatcher {
   /// Algorithm step after the request was routed.  `matched` tells whether
   /// it was served on a matching edge.
   virtual void on_request(const Request& r, bool matched) = 0;
+
+  /// Chunk-local routing ledger for serve_batch overrides: the per-request
+  /// routing fields accumulate in registers and are committed once per
+  /// chunk.  Integer sums are associative, so a commit at the chunk
+  /// boundary leaves CostStats bit-identical to per-request accounting
+  /// (reconfiguration costs still book immediately via the mutators).
+  struct RoutingDelta {
+    std::uint64_t routing_cost = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t direct_serves = 0;
+  };
+  void commit_routing(const RoutingDelta& d) noexcept {
+    costs_.routing_cost += d.routing_cost;
+    costs_.requests += d.requests;
+    costs_.direct_serves += d.direct_serves;
+  }
 
   /// Reconfiguration mutators — each call books α into the ledger.
   void add_matching_edge(Rack u, Rack v) {

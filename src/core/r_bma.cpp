@@ -66,6 +66,41 @@ void RBma::on_request(const Request& r, bool /*matched*/) {
   state.counter = 0;
   ++specials_;
 
+  special_request(r, key);
+}
+
+void RBma::serve_batch(std::span<const Request> batch) {
+  RoutingDelta acc;
+  const std::uint64_t a = alpha();
+  DemandPredictor* const predictor = options_.predictor.get();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    // One-request lookahead: the Theorem 1 counter probe is the per-request
+    // memory dependency; start pulling the next pair's record now.
+    if (i + 1 < batch.size()) pairs_.prefetch(pair_key(batch[i + 1]));
+    RDCN_DCHECK(r.u != r.v);
+    const std::uint64_t key = pair_key(r);
+    // Route with the current matching (membership checked before any
+    // reconfiguration below, exactly as serve() does).
+    const bool matched = matching_view().has(r.u, r.v);
+    const std::uint64_t d = dist(r.u, r.v);
+    acc.routing_cost += matched ? 1 : d;
+    ++acc.requests;
+    acc.direct_serves += matched ? 1 : 0;
+
+    if (predictor != nullptr) predictor->observe(key);
+
+    const std::uint64_t ke = (a + d - 1) / d;
+    PairCounter& state = *pairs_.try_emplace(key).first;
+    if (++state.counter < ke) continue;
+    state.counter = 0;
+    ++specials_;
+    special_request(r, key);
+  }
+  commit_routing(acc);
+}
+
+void RBma::special_request(const Request& r, std::uint64_t key) {
   // Theorem 2 reduction: forward the special request to the paging engines
   // at both endpoints; a request always ends with the pair cached there.
   evicted_scratch_.clear();

@@ -58,6 +58,14 @@ class RBma final : public OnlineBMatcher {
 
   std::string name() const override;
 
+  /// Devirtualized chunk loop: one matching-membership probe and one
+  /// distance load per request (serve() pays the distance load twice —
+  /// once for routing, once for the Theorem 1 counter threshold), with
+  /// routing accumulation committed per chunk.  RNG draws happen in
+  /// exactly the scalar order, so ledgers and engine states stay
+  /// bit-identical.
+  void serve_batch(std::span<const Request> batch) override;
+
   void reset() override;
 
   /// Diagnostics: total special requests forwarded to paging engines.
@@ -97,6 +105,10 @@ class RBma final : public OnlineBMatcher {
   };
 
   void on_request(const Request& r, bool matched) override;
+
+  /// Theorem 2 step for a special request: forward to both endpoint
+  /// engines, process evictions, re-establish the intersection invariant.
+  void special_request(const Request& r, std::uint64_t key);
 
   void build_engines();
 

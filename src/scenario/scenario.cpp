@@ -1,8 +1,10 @@
 #include "scenario/scenario.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/assert.hpp"
+#include "sim/parallel_runner.hpp"
 
 namespace rdcn::scenario {
 
@@ -190,16 +192,42 @@ std::vector<ScenarioResult> run_matrix(const ScenarioSpec& base,
       topologies.empty() ? std::vector<Spec>{base.topology} : topologies;
   const std::vector<Spec> workload_axis =
       workloads.empty() ? std::vector<Spec>{base.workload} : workloads;
-  std::vector<ScenarioResult> out;
-  out.reserve(topology_axis.size() * workload_axis.size());
+
+  std::vector<ScenarioSpec> cells;
+  cells.reserve(topology_axis.size() * workload_axis.size());
   for (const Spec& topology : topology_axis) {
     for (const Spec& workload : workload_axis) {
       ScenarioSpec cell = base;
       cell.topology = topology;
       cell.workload = workload;
-      out.push_back(run_scenario(cell));
+      cells.push_back(std::move(cell));
     }
   }
+
+  // Matrix cells are independent end to end — topology build, workload
+  // generation, and every (algorithm, b, trial) run derive only from the
+  // cell's own spec (its seed included) — so they shard across the
+  // persistent ThreadPool.  Results are written by index, which keeps the
+  // row-major output order and makes the CSV independent of thread count
+  // and completion order.  parallel_for bodies must not throw; capture the
+  // first error (e.g. a workload/topology rack mismatch) and rethrow here.
+  std::vector<ScenarioResult> out(cells.size());
+  std::mutex error_mutex;
+  std::string error;
+  bool failed = false;
+  sim::parallel_for(
+      cells.size(),
+      [&](std::size_t i) {
+        try {
+          out[i] = run_scenario(cells[i]);
+        } catch (const std::exception& e) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!failed) error = e.what();
+          failed = true;
+        }
+      },
+      base.threads);
+  if (failed) throw SpecError(error);
   return out;
 }
 

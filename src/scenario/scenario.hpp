@@ -67,7 +67,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 
 /// The §3.1 matrix: `base` crossed with every topology × workload
 /// combination, in row-major (topology-outer) order.  Empty lists reuse the
-/// base spec's entry.
+/// base spec's entry.  Cells are independent and run in parallel on the
+/// persistent ThreadPool (`base.threads`; 0 = hardware concurrency); every
+/// cell derives its topology/workload RNG and per-trial seeds from the
+/// spec alone, so results are identical for any thread count.
 std::vector<ScenarioResult> run_matrix(const ScenarioSpec& base,
                                        const std::vector<Spec>& topologies,
                                        const std::vector<Spec>& workloads);

@@ -27,7 +27,11 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
   for (const ExperimentSpec& spec : specs)
     registry.validate({spec.algorithm, spec.params});
 
-  // Expand specs into independent (spec, trial) tasks.
+  // Expand specs into independent (spec, trial) tasks.  Seeds derive
+  // deterministically from the config alone (base_seed + trial), and trial
+  // t uses the same seed for every algorithm/b column (paired seeds), so
+  // a sweep's results are identical for any thread count or completion
+  // order.
   struct Task {
     std::size_t spec_index;
     std::uint64_t seed;

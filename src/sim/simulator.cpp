@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/stopwatch.hpp"
 
@@ -17,9 +18,139 @@ std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
   return grid;
 }
 
+namespace {
+
+/// Captures the matcher's cumulative ledger as one checkpoint row.
+struct Snapshotter {
+  core::OnlineBMatcher& matcher;
+  Stopwatch& watch;
+  RunResult& result;
+  std::size_t next_cp = 0;
+
+  void snapshot(std::uint64_t served) {
+    const core::CostStats& costs = matcher.costs();
+    Checkpoint c;
+    c.requests = served;
+    c.routing_cost = costs.routing_cost;
+    c.reconfig_cost = costs.reconfig_cost;
+    c.total_cost = costs.total_cost();
+    c.direct_serves = costs.direct_serves;
+    c.edge_adds = costs.edge_adds;
+    c.edge_removals = costs.edge_removals;
+    c.matching_size = matcher.matching().size();
+    c.wall_seconds = watch.seconds();
+    result.checkpoints.push_back(c);
+    ++next_cp;
+  }
+};
+
+/// Chunk sources for the batched replay loop.  `kTimedFill` distinguishes
+/// materialized traces (gather is part of the serve pipeline and is timed)
+/// from streams (fill is trace *generation*, which the paper's wall-clock
+/// methodology excludes).
+struct TraceSource {
+  const trace::Trace& trace;
+  static constexpr bool kTimedFill = true;
+
+  std::uint64_t size() const { return trace.size(); }
+  const std::string& name() const { return trace.name(); }
+  void fill(std::uint64_t offset, std::size_t n, trace::Request* out) const {
+    trace.gather(offset, n, out);
+  }
+};
+
+struct StreamSource {
+  trace::TraceStream& stream;
+  static constexpr bool kTimedFill = false;
+
+  std::uint64_t size() const { return stream.total(); }
+  const std::string& name() const { return stream.name(); }
+  void fill([[maybe_unused]] std::uint64_t offset, std::size_t n,
+            trace::Request* out) const {
+    RDCN_DCHECK(offset == stream.produced());
+    const std::size_t got = stream.next(out, n);
+    RDCN_ASSERT_MSG(got == n, "trace stream ended before its total()");
+  }
+};
+
+template <typename Source>
+RunResult run_batched(core::OnlineBMatcher& matcher, const Source& source,
+                      std::vector<std::uint64_t> checkpoints) {
+  RDCN_ASSERT_MSG(!checkpoints.empty(), "need at least one checkpoint");
+  RDCN_ASSERT_MSG(std::is_sorted(checkpoints.begin(), checkpoints.end()),
+                  "checkpoints must be non-decreasing");
+  checkpoints.back() = std::min<std::uint64_t>(checkpoints.back(),
+                                               source.size());
+
+  RunResult result;
+  result.algorithm = matcher.name();
+  result.trace_name = source.name();
+  result.b = matcher.instance().b;
+  result.checkpoints.reserve(checkpoints.size());
+
+  // Scratch is allocated (and the chunk loop's working set decided) before
+  // the clock starts.
+  std::vector<trace::Request> scratch(static_cast<std::size_t>(
+      std::min<std::uint64_t>(kServeChunk,
+                              std::max<std::uint64_t>(source.size(), 1))));
+
+  Stopwatch watch;
+  watch.reset();
+  Snapshotter snap{matcher, watch, result};
+  // A checkpoint at 0 snapshots the pre-trace state; this is also how an
+  // empty trace yields a (zero-cost) ledger.
+  while (snap.next_cp < checkpoints.size() &&
+         checkpoints[snap.next_cp] == 0) {
+    snap.snapshot(0);
+  }
+
+  std::uint64_t served = 0;
+  while (snap.next_cp < checkpoints.size()) {
+    const std::uint64_t target = checkpoints[snap.next_cp];
+    RDCN_ASSERT_MSG(target <= source.size(),
+                    "trace shorter than checkpoint grid");
+    // Serve up to the next grid point in chunks clipped at the boundary:
+    // the final chunk before a checkpoint shrinks so no request beyond it
+    // is served before the snapshot.
+    while (served < target) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kServeChunk, target - served));
+      if constexpr (!Source::kTimedFill) watch.pause();
+      source.fill(served, chunk, scratch.data());
+      if constexpr (!Source::kTimedFill) watch.resume();
+      matcher.serve_batch(std::span<const trace::Request>(scratch.data(),
+                                                          chunk));
+      served += chunk;
+    }
+    while (snap.next_cp < checkpoints.size() &&
+           checkpoints[snap.next_cp] == served) {
+      watch.pause();
+      snap.snapshot(served);
+      watch.resume();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 RunResult run_simulation(core::OnlineBMatcher& matcher,
                          const trace::Trace& trace,
                          std::vector<std::uint64_t> checkpoints) {
+  return run_batched(matcher, TraceSource{trace}, std::move(checkpoints));
+}
+
+RunResult run_simulation(core::OnlineBMatcher& matcher,
+                         trace::TraceStream& stream,
+                         std::vector<std::uint64_t> checkpoints) {
+  RDCN_ASSERT_MSG(stream.produced() == 0,
+                  "run_simulation needs an unconsumed stream");
+  return run_batched(matcher, StreamSource{stream}, std::move(checkpoints));
+}
+
+RunResult run_simulation_scalar(core::OnlineBMatcher& matcher,
+                                const trace::Trace& trace,
+                                std::vector<std::uint64_t> checkpoints) {
   RDCN_ASSERT_MSG(!checkpoints.empty(), "need at least one checkpoint");
   RDCN_ASSERT_MSG(std::is_sorted(checkpoints.begin(), checkpoints.end()),
                   "checkpoints must be non-decreasing");
@@ -34,40 +165,24 @@ RunResult run_simulation(core::OnlineBMatcher& matcher,
 
   Stopwatch watch;
   watch.reset();
-  std::size_t next_cp = 0;
-  const auto snapshot = [&](std::uint64_t served) {
-    const core::CostStats& costs = matcher.costs();
-    Checkpoint c;
-    c.requests = served;
-    c.routing_cost = costs.routing_cost;
-    c.reconfig_cost = costs.reconfig_cost;
-    c.total_cost = costs.total_cost();
-    c.direct_serves = costs.direct_serves;
-    c.edge_adds = costs.edge_adds;
-    c.edge_removals = costs.edge_removals;
-    c.matching_size = matcher.matching().size();
-    c.wall_seconds = watch.seconds();
-    result.checkpoints.push_back(c);
-    ++next_cp;
-  };
-  // A checkpoint at 0 snapshots the pre-trace state; this is also how an
-  // empty trace yields a (zero-cost) ledger instead of tripping the
-  // grid-exhaustion assert below.
-  while (next_cp < checkpoints.size() && checkpoints[next_cp] == 0) {
-    snapshot(0);
+  Snapshotter snap{matcher, watch, result};
+  while (snap.next_cp < checkpoints.size() &&
+         checkpoints[snap.next_cp] == 0) {
+    snap.snapshot(0);
   }
-  if (next_cp >= checkpoints.size()) return result;
+  if (snap.next_cp >= checkpoints.size()) return result;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     matcher.serve(trace[i]);
     const std::uint64_t served = i + 1;
-    while (next_cp < checkpoints.size() && served == checkpoints[next_cp]) {
+    while (snap.next_cp < checkpoints.size() &&
+           served == checkpoints[snap.next_cp]) {
       watch.pause();
-      snapshot(served);
+      snap.snapshot(served);
       watch.resume();
     }
-    if (next_cp >= checkpoints.size()) break;
+    if (snap.next_cp >= checkpoints.size()) break;
   }
-  RDCN_ASSERT_MSG(next_cp == checkpoints.size(),
+  RDCN_ASSERT_MSG(snap.next_cp == checkpoints.size(),
                   "trace shorter than checkpoint grid");
   return result;
 }
@@ -75,6 +190,11 @@ RunResult run_simulation(core::OnlineBMatcher& matcher,
 RunResult run_to_completion(core::OnlineBMatcher& matcher,
                             const trace::Trace& trace) {
   return run_simulation(matcher, trace, {trace.size()});
+}
+
+RunResult run_to_completion(core::OnlineBMatcher& matcher,
+                            trace::TraceStream& stream) {
+  return run_simulation(matcher, stream, {stream.total()});
 }
 
 }  // namespace rdcn::sim

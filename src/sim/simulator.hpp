@@ -1,36 +1,68 @@
 // rdcn: the request-driven simulator.
 //
-// Feeds a trace through an online matcher one request at a time, exactly as
-// the model prescribes (serve with current matching, then reconfigure), and
-// snapshots cumulative costs at a checkpoint grid.  Wall-clock measurement
-// covers only the serve() loop — trace generation, checkpointing, and
-// reporting are excluded, mirroring the paper's execution-time methodology.
+// Feeds a trace through an online matcher exactly as the model prescribes
+// (serve with the current matching, then reconfigure) and snapshots
+// cumulative costs at a checkpoint grid.  Replay is *batched*: requests go
+// to OnlineBMatcher::serve_batch in fixed-size chunks (kServeChunk) that
+// are clipped at checkpoint boundaries, so checkpoint semantics are
+// unchanged — a chunked run's ledger is bit-identical to the scalar
+// serve() loop at every grid point (pinned by the batch differential
+// suite).  Wall-clock measurement covers the serve pipeline only —
+// checkpointing and reporting are excluded, and for TraceStream inputs so
+// is chunk generation, mirroring the paper's execution-time methodology
+// (trace generation excluded).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/online_matcher.hpp"
 #include "sim/metrics.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace rdcn::sim {
+
+/// Requests per serve_batch chunk: 4096 requests = 32 KiB of AoS scratch,
+/// so a chunk's working set (scratch + touched columns) stays L2-resident
+/// while still amortizing the per-chunk virtual dispatch to nothing.
+inline constexpr std::size_t kServeChunk = 4096;
 
 /// Evenly spaced checkpoint grid: `points` checkpoints ending exactly at
 /// `total_requests`.
 std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
                                            std::size_t points);
 
-/// Runs `matcher` (already reset/fresh) over `trace`.  `checkpoints` must
-/// be non-decreasing; the last entry is clamped to the trace length.  A
-/// checkpoint of 0 snapshots the pre-trace (zero-cost) state, which is
-/// also how an empty trace yields a ledger.  No request beyond the last
-/// checkpoint is served.
+/// Runs `matcher` (already reset/fresh) over `trace` with chunked replay.
+/// `checkpoints` must be non-decreasing; the last entry is clamped to the
+/// trace length.  A checkpoint of 0 snapshots the pre-trace (zero-cost)
+/// state, which is also how an empty trace yields a ledger.  No request
+/// beyond the last checkpoint is served.
 RunResult run_simulation(core::OnlineBMatcher& matcher,
                          const trace::Trace& trace,
                          std::vector<std::uint64_t> checkpoints);
 
+/// Streaming replay: identical semantics, but chunks are pulled from
+/// `stream` (which must be unconsumed) instead of a materialized trace —
+/// peak memory is one scratch chunk regardless of trace length.  The
+/// checkpoint grid is clamped against stream.total().  Chunk production
+/// is excluded from wall-clock (it is trace generation).
+RunResult run_simulation(core::OnlineBMatcher& matcher,
+                         trace::TraceStream& stream,
+                         std::vector<std::uint64_t> checkpoints);
+
+/// Reference scalar replay: one serve() call per request, the historical
+/// execution mode.  Kept as the semantic baseline for the batch
+/// differential suite and for perf_gate's batched-vs-scalar speedup
+/// measurement.  Ledgers are bit-identical to the chunked path.
+RunResult run_simulation_scalar(core::OnlineBMatcher& matcher,
+                                const trace::Trace& trace,
+                                std::vector<std::uint64_t> checkpoints);
+
 /// Convenience: single final checkpoint only.
 RunResult run_to_completion(core::OnlineBMatcher& matcher,
                             const trace::Trace& trace);
+RunResult run_to_completion(core::OnlineBMatcher& matcher,
+                            trace::TraceStream& stream);
 
 }  // namespace rdcn::sim

@@ -70,4 +70,14 @@ Trace generate_facebook_like(FacebookCluster cluster, std::size_t num_racks,
   return t;
 }
 
+std::unique_ptr<TraceStream> stream_facebook_like(FacebookCluster cluster,
+                                                  std::size_t num_racks,
+                                                  std::size_t num_requests,
+                                                  const Xoshiro256& rng) {
+  const FlowPoolParams params = facebook_params(cluster, num_racks);
+  auto stream = stream_flow_pool(num_racks, num_requests, params, rng);
+  stream->set_name(std::string("facebook_") + facebook_cluster_name(cluster));
+  return stream;
+}
+
 }  // namespace rdcn::trace

@@ -46,4 +46,11 @@ FlowPoolParams facebook_params(FacebookCluster cluster,
 Trace generate_facebook_like(FacebookCluster cluster, std::size_t num_racks,
                              std::size_t num_requests, Xoshiro256& rng);
 
+/// Streaming twin of generate_facebook_like (chunked production, RNG
+/// snapshotted; see trace/trace_stream.hpp).
+std::unique_ptr<TraceStream> stream_facebook_like(FacebookCluster cluster,
+                                                  std::size_t num_racks,
+                                                  std::size_t num_requests,
+                                                  const Xoshiro256& rng);
+
 }  // namespace rdcn::trace

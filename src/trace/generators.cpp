@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/flat_hash.hpp"
 
@@ -32,238 +33,427 @@ std::vector<Request> sample_distinct_pairs(std::size_t num_racks,
   return pairs;
 }
 
-}  // namespace
+// Per-request emitters.  Each constructor performs the generator's setup
+// draws and each step() performs exactly the per-request draws of the
+// historical single-shot loop, in the same order — generate_* and stream_*
+// share these, which is what makes them bit-identical.
 
-Trace generate_uniform(std::size_t num_racks, std::size_t num_requests,
-                       Xoshiro256& rng) {
-  RDCN_ASSERT(num_racks >= 2);
-  Trace t(num_racks, "uniform");
-  t.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i)
-    t.push_back(random_pair(num_racks, rng));
-  return t;
-}
-
-Trace generate_zipf_pairs(std::size_t num_racks, std::size_t num_requests,
-                          double skew, Xoshiro256& rng) {
-  RDCN_ASSERT(num_racks >= 2);
-  // Rank all pairs by a random permutation, then draw ranks from Zipf(s).
-  std::vector<Request> pairs;
-  pairs.reserve(num_racks * (num_racks - 1) / 2);
-  for (Rack u = 0; u < num_racks; ++u)
-    for (Rack v = u + 1; v < num_racks; ++v)
-      pairs.push_back(Request{u, v});
-  shuffle(pairs.begin(), pairs.end(), rng);
-  const ZipfSampler zipf(pairs.size(), skew);
-
-  Trace t(num_racks, "zipf");
-  t.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i)
-    t.push_back(pairs[zipf(rng)]);
-  return t;
-}
-
-Trace generate_hotspot(std::size_t num_racks, std::size_t num_requests,
-                       double hot_fraction, double hot_share,
-                       Xoshiro256& rng) {
-  RDCN_ASSERT(num_racks >= 4);
-  RDCN_ASSERT(hot_fraction > 0.0 && hot_fraction < 1.0);
-  RDCN_ASSERT(hot_share >= 0.0 && hot_share <= 1.0);
-  const std::size_t num_hot =
-      std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   std::ceil(hot_fraction * num_racks)));
-  std::vector<Rack> racks(num_racks);
-  for (std::size_t i = 0; i < num_racks; ++i) racks[i] = static_cast<Rack>(i);
-  shuffle(racks.begin(), racks.end(), rng);
-  // racks[0..num_hot) are the hotspots.
-
-  Trace t(num_racks, "hotspot");
-  t.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i) {
-    if (rng.next_bool(hot_share) && num_hot >= 1) {
-      // One endpoint hot, the other uniform.
-      const Rack h = racks[rng.next_below(num_hot)];
-      Rack o = static_cast<Rack>(rng.next_below(num_racks - 1));
-      if (o >= h) ++o;
-      t.push_back(Request::make(h, o));
-    } else {
-      t.push_back(random_pair(num_racks, rng));
-    }
+class UniformEmitter {
+ public:
+  UniformEmitter(std::size_t num_racks, Xoshiro256& rng)
+      : num_racks_(num_racks), rng_(rng) {
+    RDCN_ASSERT(num_racks >= 2);
   }
-  return t;
-}
 
-Trace generate_permutation(std::size_t num_racks, std::size_t num_requests,
-                           Xoshiro256& rng) {
-  RDCN_ASSERT(num_racks >= 2 && num_racks % 2 == 0);
-  std::vector<Rack> perm(num_racks);
-  for (std::size_t i = 0; i < num_racks; ++i) perm[i] = static_cast<Rack>(i);
-  shuffle(perm.begin(), perm.end(), rng);
-  // Pair consecutive entries of the shuffled list.
-  std::vector<Request> pairs;
-  pairs.reserve(num_racks / 2);
-  for (std::size_t i = 0; i + 1 < num_racks; i += 2)
-    pairs.push_back(Request::make(perm[i], perm[i + 1]));
+  Request step() { return random_pair(num_racks_, rng_); }
 
-  Trace t(num_racks, "permutation");
-  t.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i)
-    t.push_back(pairs[rng.next_below(pairs.size())]);
-  return t;
-}
+ private:
+  std::size_t num_racks_;
+  Xoshiro256& rng_;
+};
 
-Trace generate_flow_pool(std::size_t num_racks, std::size_t num_requests,
-                         const FlowPoolParams& params, Xoshiro256& rng) {
-  RDCN_ASSERT(num_racks >= 2);
-  RDCN_ASSERT(params.candidate_pairs >= 1);
-  RDCN_ASSERT(params.mean_burst_length >= 1.0);
-  RDCN_ASSERT(params.max_active_flows >= 1);
+class ZipfPairsEmitter {
+ public:
+  ZipfPairsEmitter(std::size_t num_racks, double skew, Xoshiro256& rng)
+      : rng_(rng), zipf_(num_racks * (num_racks - 1) / 2, skew) {
+    RDCN_ASSERT(num_racks >= 2);
+    // Rank all pairs by a random permutation, then draw ranks from Zipf(s).
+    pairs_.reserve(num_racks * (num_racks - 1) / 2);
+    for (Rack u = 0; u < num_racks; ++u)
+      for (Rack v = u + 1; v < num_racks; ++v)
+        pairs_.push_back(Request{u, v});
+    shuffle(pairs_.begin(), pairs_.end(), rng_);
+  }
 
-  const std::size_t all_pairs = num_racks * (num_racks - 1) / 2;
-  const std::size_t num_candidates =
-      std::min(params.candidate_pairs, all_pairs);
+  Request step() { return pairs_[zipf_(rng_)]; }
 
-  // Optional hub structure: designate hot racks and bias candidate
-  // endpoints toward them.
-  std::vector<Rack> hubs;
-  if (params.hub_fraction > 0.0) {
-    const std::size_t num_hubs = std::max<std::size_t>(
-        2, static_cast<std::size_t>(params.hub_fraction *
-                                    static_cast<double>(num_racks)));
-    std::vector<Rack> racks(num_racks);
+ private:
+  Xoshiro256& rng_;
+  std::vector<Request> pairs_;
+  ZipfSampler zipf_;
+};
+
+class HotspotEmitter {
+ public:
+  HotspotEmitter(std::size_t num_racks, double hot_fraction, double hot_share,
+                 Xoshiro256& rng)
+      : num_racks_(num_racks), hot_share_(hot_share), rng_(rng) {
+    RDCN_ASSERT(num_racks >= 4);
+    RDCN_ASSERT(hot_fraction > 0.0 && hot_fraction < 1.0);
+    RDCN_ASSERT(hot_share >= 0.0 && hot_share <= 1.0);
+    num_hot_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(hot_fraction * num_racks)));
+    racks_.resize(num_racks);
     for (std::size_t i = 0; i < num_racks; ++i)
-      racks[i] = static_cast<Rack>(i);
-    shuffle(racks.begin(), racks.end(), rng);
-    hubs.assign(racks.begin(),
-                racks.begin() + static_cast<std::ptrdiff_t>(num_hubs));
+      racks_[i] = static_cast<Rack>(i);
+    shuffle(racks_.begin(), racks_.end(), rng_);
+    // racks_[0..num_hot_) are the hotspots.
   }
-  auto sample_endpoint = [&]() -> Rack {
-    if (!hubs.empty() && rng.next_bool(params.hub_bias))
-      return hubs[rng.next_below(hubs.size())];
-    return static_cast<Rack>(rng.next_below(num_racks));
+
+  Request step() {
+    if (rng_.next_bool(hot_share_) && num_hot_ >= 1) {
+      // One endpoint hot, the other uniform.
+      const Rack h = racks_[rng_.next_below(num_hot_)];
+      Rack o = static_cast<Rack>(rng_.next_below(num_racks_ - 1));
+      if (o >= h) ++o;
+      return Request::make(h, o);
+    }
+    return random_pair(num_racks_, rng_);
+  }
+
+ private:
+  std::size_t num_racks_;
+  double hot_share_;
+  Xoshiro256& rng_;
+  std::size_t num_hot_ = 0;
+  std::vector<Rack> racks_;
+};
+
+class PermutationEmitter {
+ public:
+  PermutationEmitter(std::size_t num_racks, Xoshiro256& rng) : rng_(rng) {
+    RDCN_ASSERT(num_racks >= 2 && num_racks % 2 == 0);
+    std::vector<Rack> perm(num_racks);
+    for (std::size_t i = 0; i < num_racks; ++i) perm[i] = static_cast<Rack>(i);
+    shuffle(perm.begin(), perm.end(), rng_);
+    // Pair consecutive entries of the shuffled list.
+    pairs_.reserve(num_racks / 2);
+    for (std::size_t i = 0; i + 1 < num_racks; i += 2)
+      pairs_.push_back(Request::make(perm[i], perm[i + 1]));
+  }
+
+  Request step() { return pairs_[rng_.next_below(pairs_.size())]; }
+
+ private:
+  Xoshiro256& rng_;
+  std::vector<Request> pairs_;
+};
+
+class FlowPoolEmitter {
+ public:
+  FlowPoolEmitter(std::size_t num_racks, const FlowPoolParams& params,
+                  Xoshiro256& rng)
+      : num_racks_(num_racks),
+        params_(params),
+        rng_(rng),
+        zipf_(std::min(params.candidate_pairs,
+                       num_racks * (num_racks - 1) / 2),
+              params.zipf_skew),
+        // P(burst continues) chosen so the mean geometric length matches.
+        p_end_(1.0 / params.mean_burst_length) {
+    RDCN_ASSERT(num_racks >= 2);
+    RDCN_ASSERT(params_.candidate_pairs >= 1);
+    RDCN_ASSERT(params_.mean_burst_length >= 1.0);
+    RDCN_ASSERT(params_.max_active_flows >= 1);
+
+    const std::size_t all_pairs = num_racks * (num_racks - 1) / 2;
+    const std::size_t num_candidates =
+        std::min(params_.candidate_pairs, all_pairs);
+
+    // Optional hub structure: designate hot racks and bias candidate
+    // endpoints toward them.
+    if (params_.hub_fraction > 0.0) {
+      const std::size_t num_hubs = std::max<std::size_t>(
+          2, static_cast<std::size_t>(params_.hub_fraction *
+                                      static_cast<double>(num_racks)));
+      std::vector<Rack> racks(num_racks);
+      for (std::size_t i = 0; i < num_racks; ++i)
+        racks[i] = static_cast<Rack>(i);
+      shuffle(racks.begin(), racks.end(), rng_);
+      hubs_.assign(racks.begin(),
+                   racks.begin() + static_cast<std::ptrdiff_t>(num_hubs));
+    }
+
+    if (hubs_.empty()) {
+      candidates_ = sample_distinct_pairs(num_racks, num_candidates, rng_);
+    } else {
+      candidates_.reserve(num_candidates);
+      FlatSet seen(num_candidates);
+      std::size_t attempts = 0;
+      while (candidates_.size() < num_candidates) {
+        const Request r = sample_candidate();
+        // Hub-biased sampling can exhaust the hub-pair universe; give up on
+        // distinctness after enough rejections and allow duplicates (they
+        // merely deepen the skew).
+        if (seen.insert(pair_key(r)) || ++attempts > 50 * num_candidates) {
+          candidates_.push_back(r);
+        }
+      }
+    }
+    active_.reserve(params_.max_active_flows);
+  }
+
+  Request step() {
+    // Working-set drift: refresh part of the candidate set periodically.
+    if (params_.drift_period > 0 && emitted_ > 0 &&
+        emitted_ % params_.drift_period == 0) {
+      const std::size_t refresh = static_cast<std::size_t>(
+          params_.drift_fraction * static_cast<double>(candidates_.size()));
+      for (std::size_t r = 0; r < refresh; ++r) {
+        const std::size_t slot = rng_.next_below(candidates_.size());
+        candidates_[slot] = hubs_.empty() ? random_pair(num_racks_, rng_)
+                                          : sample_candidate();
+      }
+    }
+
+    if (params_.noise_fraction > 0.0 &&
+        rng_.next_bool(params_.noise_fraction)) {
+      ++emitted_;
+      return random_pair(num_racks_, rng_);
+    }
+    if (active_.empty() ||
+        (active_.size() < params_.max_active_flows &&
+         rng_.next_bool(params_.new_flow_prob))) {
+      spawn_flow();
+    }
+    const std::size_t i = rng_.next_below(active_.size());
+    const Request out = active_[i].pair;
+    ++emitted_;
+    if (--active_[i].remaining == 0) {
+      active_[i] = active_.back();
+      active_.pop_back();
+    }
+    return out;
+  }
+
+ private:
+  struct Flow {
+    Request pair;
+    std::size_t remaining;
   };
-  auto sample_candidate = [&]() -> Request {
+
+  Rack sample_endpoint() {
+    if (!hubs_.empty() && rng_.next_bool(params_.hub_bias))
+      return hubs_[rng_.next_below(hubs_.size())];
+    return static_cast<Rack>(rng_.next_below(num_racks_));
+  }
+
+  Request sample_candidate() {
     while (true) {
       const Rack u = sample_endpoint();
       const Rack v = sample_endpoint();
       if (u != v) return Request::make(u, v);
     }
-  };
-
-  std::vector<Request> candidates;
-  if (hubs.empty()) {
-    candidates = sample_distinct_pairs(num_racks, num_candidates, rng);
-  } else {
-    candidates.reserve(num_candidates);
-    FlatSet seen(num_candidates);
-    std::size_t attempts = 0;
-    while (candidates.size() < num_candidates) {
-      const Request r = sample_candidate();
-      // Hub-biased sampling can exhaust the hub-pair universe; give up on
-      // distinctness after enough rejections and allow duplicates (they
-      // merely deepen the skew).
-      if (seen.insert(pair_key(r)) || ++attempts > 50 * num_candidates) {
-        candidates.push_back(r);
-      }
-    }
   }
-  const ZipfSampler zipf(num_candidates, params.zipf_skew);
-  // P(burst continues) chosen so the mean geometric length matches.
-  const double p_end = 1.0 / params.mean_burst_length;
 
-  struct Flow {
-    Request pair;
-    std::size_t remaining;
-  };
-  std::vector<Flow> active;
-  active.reserve(params.max_active_flows);
+  void spawn_flow() {
+    const Request pair = candidates_[zipf_(rng_)];
+    const std::size_t len = 1 + sample_geometric(rng_, p_end_);
+    active_.push_back({pair, len});
+  }
 
-  auto spawn_flow = [&] {
-    const Request pair = candidates[zipf(rng)];
-    const std::size_t len = 1 + sample_geometric(rng, p_end);
-    active.push_back({pair, len});
-  };
+  std::size_t num_racks_;
+  FlowPoolParams params_;
+  Xoshiro256& rng_;
+  std::vector<Rack> hubs_;
+  std::vector<Request> candidates_;
+  ZipfSampler zipf_;
+  double p_end_;
+  std::vector<Flow> active_;
+  std::size_t emitted_ = 0;
+};
 
-  Trace t(num_racks, "flow_pool");
+class ElephantMiceEmitter {
+ public:
+  ElephantMiceEmitter(std::size_t num_racks, std::size_t num_elephants,
+                      double elephant_share, double mean_run_length,
+                      Xoshiro256& rng)
+      : num_racks_(num_racks),
+        elephant_share_(elephant_share),
+        p_end_(1.0 / mean_run_length),
+        rng_(rng) {
+    RDCN_ASSERT(num_racks >= 2);
+    RDCN_ASSERT(num_elephants >= 1);
+    RDCN_ASSERT(elephant_share >= 0.0 && elephant_share <= 1.0);
+    RDCN_ASSERT(mean_run_length >= 1.0);
+    elephants_ = sample_distinct_pairs(num_racks, num_elephants, rng_);
+  }
+
+  Request step() {
+    // An in-progress elephant run continues without further draws; the
+    // run length was sampled when it started (truncation at the trace end
+    // simply leaves the run unfinished, exactly as the one-shot loop did).
+    if (run_remaining_ > 0) {
+      --run_remaining_;
+      return run_pair_;
+    }
+    if (rng_.next_bool(elephant_share_)) {
+      run_pair_ = elephants_[rng_.next_below(elephants_.size())];
+      run_remaining_ = sample_geometric(rng_, p_end_);  // 1 + g, one emitted now
+      return run_pair_;
+    }
+    return random_pair(num_racks_, rng_);
+  }
+
+ private:
+  std::size_t num_racks_;
+  double elephant_share_;
+  double p_end_;
+  Xoshiro256& rng_;
+  std::vector<Request> elephants_;
+  Request run_pair_{0, 1};
+  std::size_t run_remaining_ = 0;
+};
+
+class RoundRobinStarEmitter {
+ public:
+  RoundRobinStarEmitter(std::size_t num_racks, std::size_t k,
+                        [[maybe_unused]] Xoshiro256& rng)
+      : k_(k) {
+    RDCN_ASSERT(num_racks >= k + 2);
+    RDCN_ASSERT(k >= 1);
+  }
+
+  Request step() {
+    const Rack other = static_cast<Rack>(1 + (i_++ % (k_ + 1)));
+    return Request::make(0, other);
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t i_ = 0;
+};
+
+/// generate_* front end: drains `emitter` into a materialized Trace.
+template <typename Emitter>
+Trace drain(Emitter& emitter, std::size_t num_racks,
+            std::size_t num_requests, const char* name) {
+  Trace t(num_racks, name);
   t.reserve(num_requests);
-  std::size_t emitted = 0;
-  while (emitted < num_requests) {
-    // Working-set drift: refresh part of the candidate set periodically.
-    if (params.drift_period > 0 && emitted > 0 &&
-        emitted % params.drift_period == 0) {
-      const std::size_t refresh = static_cast<std::size_t>(
-          params.drift_fraction * static_cast<double>(num_candidates));
-      for (std::size_t r = 0; r < refresh; ++r) {
-        const std::size_t slot = rng.next_below(num_candidates);
-        candidates[slot] = hubs.empty() ? random_pair(num_racks, rng)
-                                        : sample_candidate();
-      }
-    }
-
-    if (params.noise_fraction > 0.0 &&
-        rng.next_bool(params.noise_fraction)) {
-      t.push_back(random_pair(num_racks, rng));
-      ++emitted;
-      continue;
-    }
-    if (active.empty() ||
-        (active.size() < params.max_active_flows &&
-         rng.next_bool(params.new_flow_prob))) {
-      spawn_flow();
-    }
-    const std::size_t i = rng.next_below(active.size());
-    t.push_back(active[i].pair);
-    ++emitted;
-    if (--active[i].remaining == 0) {
-      active[i] = active.back();
-      active.pop_back();
-    }
-  }
+  for (std::size_t i = 0; i < num_requests; ++i) t.push_back(emitter.step());
   return t;
+}
+
+/// stream_* front end: owns an RNG snapshot plus the emitter driving it.
+template <typename Emitter>
+class EmitterStream final : public TraceStream {
+ public:
+  template <typename... Args>
+  EmitterStream(std::size_t num_racks, std::string name, std::size_t total,
+                const Xoshiro256& rng, Args&&... args)
+      : TraceStream(num_racks, std::move(name), total),
+        rng_(rng),  // declared before emitter_, which holds a reference
+        emitter_(num_racks, std::forward<Args>(args)..., rng_) {}
+
+ protected:
+  void produce(Request* out, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = emitter_.step();
+  }
+
+ private:
+  Xoshiro256 rng_;
+  Emitter emitter_;
+};
+
+template <typename Emitter, typename... Args>
+std::unique_ptr<TraceStream> make_stream(std::size_t num_racks,
+                                         std::string name, std::size_t total,
+                                         const Xoshiro256& rng,
+                                         Args&&... args) {
+  return std::make_unique<EmitterStream<Emitter>>(
+      num_racks, std::move(name), total, rng, std::forward<Args>(args)...);
+}
+
+}  // namespace
+
+Trace generate_uniform(std::size_t num_racks, std::size_t num_requests,
+                       Xoshiro256& rng) {
+  UniformEmitter e(num_racks, rng);
+  return drain(e, num_racks, num_requests, "uniform");
+}
+
+Trace generate_zipf_pairs(std::size_t num_racks, std::size_t num_requests,
+                          double skew, Xoshiro256& rng) {
+  ZipfPairsEmitter e(num_racks, skew, rng);
+  return drain(e, num_racks, num_requests, "zipf");
+}
+
+Trace generate_hotspot(std::size_t num_racks, std::size_t num_requests,
+                       double hot_fraction, double hot_share,
+                       Xoshiro256& rng) {
+  HotspotEmitter e(num_racks, hot_fraction, hot_share, rng);
+  return drain(e, num_racks, num_requests, "hotspot");
+}
+
+Trace generate_permutation(std::size_t num_racks, std::size_t num_requests,
+                           Xoshiro256& rng) {
+  PermutationEmitter e(num_racks, rng);
+  return drain(e, num_racks, num_requests, "permutation");
+}
+
+Trace generate_flow_pool(std::size_t num_racks, std::size_t num_requests,
+                         const FlowPoolParams& params, Xoshiro256& rng) {
+  FlowPoolEmitter e(num_racks, params, rng);
+  return drain(e, num_racks, num_requests, "flow_pool");
 }
 
 Trace generate_elephant_mice(std::size_t num_racks, std::size_t num_requests,
                              std::size_t num_elephants, double elephant_share,
                              double mean_run_length, Xoshiro256& rng) {
-  RDCN_ASSERT(num_racks >= 2);
-  RDCN_ASSERT(num_elephants >= 1);
-  RDCN_ASSERT(elephant_share >= 0.0 && elephant_share <= 1.0);
-  RDCN_ASSERT(mean_run_length >= 1.0);
-  const std::vector<Request> elephants =
-      sample_distinct_pairs(num_racks, num_elephants, rng);
-  const double p_end = 1.0 / mean_run_length;
-
-  Trace t(num_racks, "elephant_mice");
-  t.reserve(num_requests);
-  std::size_t emitted = 0;
-  while (emitted < num_requests) {
-    if (rng.next_bool(elephant_share)) {
-      // Elephant run: one heavy pair, geometric run length.
-      const Request e = elephants[rng.next_below(num_elephants)];
-      std::size_t run = 1 + sample_geometric(rng, p_end);
-      while (run-- > 0 && emitted < num_requests) {
-        t.push_back(e);
-        ++emitted;
-      }
-    } else {
-      t.push_back(random_pair(num_racks, rng));
-      ++emitted;
-    }
-  }
-  return t;
+  ElephantMiceEmitter e(num_racks, num_elephants, elephant_share,
+                        mean_run_length, rng);
+  return drain(e, num_racks, num_requests, "elephant_mice");
 }
 
 Trace generate_round_robin_star(std::size_t num_racks,
                                 std::size_t num_requests, std::size_t k) {
-  RDCN_ASSERT(num_racks >= k + 2);
-  RDCN_ASSERT(k >= 1);
-  Trace t(num_racks, "round_robin_star");
-  t.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i) {
-    const Rack other = static_cast<Rack>(1 + (i % (k + 1)));
-    t.push_back(Request::make(0, other));
-  }
-  return t;
+  Xoshiro256 unused(0);
+  RoundRobinStarEmitter e(num_racks, k, unused);
+  return drain(e, num_racks, num_requests, "round_robin_star");
+}
+
+std::unique_ptr<TraceStream> stream_uniform(std::size_t num_racks,
+                                            std::size_t num_requests,
+                                            const Xoshiro256& rng) {
+  return make_stream<UniformEmitter>(num_racks, "uniform", num_requests, rng);
+}
+
+std::unique_ptr<TraceStream> stream_zipf_pairs(std::size_t num_racks,
+                                               std::size_t num_requests,
+                                               double skew,
+                                               const Xoshiro256& rng) {
+  return make_stream<ZipfPairsEmitter>(num_racks, "zipf", num_requests, rng,
+                                       skew);
+}
+
+std::unique_ptr<TraceStream> stream_hotspot(std::size_t num_racks,
+                                            std::size_t num_requests,
+                                            double hot_fraction,
+                                            double hot_share,
+                                            const Xoshiro256& rng) {
+  return make_stream<HotspotEmitter>(num_racks, "hotspot", num_requests, rng,
+                                     hot_fraction, hot_share);
+}
+
+std::unique_ptr<TraceStream> stream_permutation(std::size_t num_racks,
+                                                std::size_t num_requests,
+                                                const Xoshiro256& rng) {
+  return make_stream<PermutationEmitter>(num_racks, "permutation",
+                                         num_requests, rng);
+}
+
+std::unique_ptr<TraceStream> stream_flow_pool(std::size_t num_racks,
+                                              std::size_t num_requests,
+                                              const FlowPoolParams& params,
+                                              const Xoshiro256& rng) {
+  return make_stream<FlowPoolEmitter>(num_racks, "flow_pool", num_requests,
+                                      rng, params);
+}
+
+std::unique_ptr<TraceStream> stream_elephant_mice(
+    std::size_t num_racks, std::size_t num_requests,
+    std::size_t num_elephants, double elephant_share, double mean_run_length,
+    const Xoshiro256& rng) {
+  return make_stream<ElephantMiceEmitter>(num_racks, "elephant_mice",
+                                          num_requests, rng, num_elephants,
+                                          elephant_share, mean_run_length);
+}
+
+std::unique_ptr<TraceStream> stream_round_robin_star(std::size_t num_racks,
+                                                     std::size_t num_requests,
+                                                     std::size_t k) {
+  return make_stream<RoundRobinStarEmitter>(num_racks, "round_robin_star",
+                                            num_requests, Xoshiro256(0), k);
 }
 
 }  // namespace rdcn::trace

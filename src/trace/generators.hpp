@@ -5,12 +5,19 @@
 // directly for controlled experiments: each generator isolates one property
 // (spatial skew, temporal burstiness, adversarial structure, ...) so
 // ablations can vary a single axis.
+// Every generator is implemented as a per-request *emitter* consumed by two
+// front ends: generate_* drains it into a materialized Trace (advancing the
+// caller's RNG exactly as before), and stream_* wraps it in a TraceStream
+// that owns a snapshot of the RNG and produces the identical request
+// sequence chunk by chunk — without ever holding the full trace in memory.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace rdcn::trace {
 
@@ -83,5 +90,37 @@ Trace generate_elephant_mice(std::size_t num_racks, std::size_t num_requests,
 /// any online algorithm with degree cap b <= k.
 Trace generate_round_robin_star(std::size_t num_racks,
                                 std::size_t num_requests, std::size_t k);
+
+/// Streaming twins: each produces bit-identically the request sequence of
+/// its generate_* counterpart seeded with the same RNG state, but in
+/// chunks (the rng parameter is snapshotted; the caller's generator is not
+/// advanced).  Generator setup (pair tables, samplers) happens at stream
+/// construction; per-request state is O(active flows), not O(requests).
+std::unique_ptr<TraceStream> stream_uniform(std::size_t num_racks,
+                                            std::size_t num_requests,
+                                            const Xoshiro256& rng);
+std::unique_ptr<TraceStream> stream_zipf_pairs(std::size_t num_racks,
+                                               std::size_t num_requests,
+                                               double skew,
+                                               const Xoshiro256& rng);
+std::unique_ptr<TraceStream> stream_hotspot(std::size_t num_racks,
+                                            std::size_t num_requests,
+                                            double hot_fraction,
+                                            double hot_share,
+                                            const Xoshiro256& rng);
+std::unique_ptr<TraceStream> stream_permutation(std::size_t num_racks,
+                                                std::size_t num_requests,
+                                                const Xoshiro256& rng);
+std::unique_ptr<TraceStream> stream_flow_pool(std::size_t num_racks,
+                                              std::size_t num_requests,
+                                              const FlowPoolParams& params,
+                                              const Xoshiro256& rng);
+std::unique_ptr<TraceStream> stream_elephant_mice(
+    std::size_t num_racks, std::size_t num_requests,
+    std::size_t num_elephants, double elephant_share, double mean_run_length,
+    const Xoshiro256& rng);
+std::unique_ptr<TraceStream> stream_round_robin_star(std::size_t num_racks,
+                                                     std::size_t num_requests,
+                                                     std::size_t k);
 
 }  // namespace rdcn::trace

@@ -57,30 +57,80 @@ std::vector<double> make_microsoft_matrix(std::size_t num_racks,
   return w;
 }
 
+namespace {
+
+/// Matrix sampling state shared by the one-shot and streaming front ends:
+/// the setup (matrix + alias table) consumes RNG draws in construction
+/// order, each step() is one alias draw — so both front ends produce the
+/// same sequence from the same starting RNG state.
+class MicrosoftEmitter {
+ public:
+  MicrosoftEmitter(std::size_t num_racks, const MicrosoftParams& params,
+                   Xoshiro256& rng)
+      : rng_(rng), sampler_(flatten(num_racks, params, rng)) {}
+
+  Request step() { return pairs_[sampler_(rng_)]; }
+
+ private:
+  /// Builds the matrix, flattens unordered pairs into pairs_, and returns
+  /// the matching weight vector for the alias sampler.
+  std::vector<double> flatten(std::size_t num_racks,
+                              const MicrosoftParams& params,
+                              Xoshiro256& rng) {
+    const std::vector<double> matrix =
+        make_microsoft_matrix(num_racks, params, rng);
+    std::vector<double> weights;
+    weights.reserve(num_racks * (num_racks - 1) / 2);
+    pairs_.reserve(weights.capacity());
+    for (Rack u = 0; u < num_racks; ++u)
+      for (Rack v = u + 1; v < num_racks; ++v) {
+        weights.push_back(matrix[static_cast<std::size_t>(u) * num_racks + v]);
+        pairs_.push_back(Request{u, v});
+      }
+    return weights;
+  }
+
+  Xoshiro256& rng_;
+  std::vector<Request> pairs_;
+  AliasSampler sampler_;
+};
+
+class MicrosoftStream final : public TraceStream {
+ public:
+  MicrosoftStream(std::size_t num_racks, std::size_t num_requests,
+                  const MicrosoftParams& params, const Xoshiro256& rng)
+      : TraceStream(num_racks, "microsoft", num_requests),
+        rng_(rng),
+        emitter_(num_racks, params, rng_) {}
+
+ protected:
+  void produce(Request* out, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = emitter_.step();
+  }
+
+ private:
+  Xoshiro256 rng_;
+  MicrosoftEmitter emitter_;
+};
+
+}  // namespace
+
 Trace generate_microsoft_like(std::size_t num_racks,
                               std::size_t num_requests,
                               const MicrosoftParams& params,
                               Xoshiro256& rng) {
-  const std::vector<double> matrix =
-      make_microsoft_matrix(num_racks, params, rng);
-
-  // Flatten unordered pairs for the alias sampler.
-  std::vector<double> weights;
-  std::vector<Request> pairs;
-  weights.reserve(num_racks * (num_racks - 1) / 2);
-  pairs.reserve(weights.capacity());
-  for (Rack u = 0; u < num_racks; ++u)
-    for (Rack v = u + 1; v < num_racks; ++v) {
-      weights.push_back(matrix[static_cast<std::size_t>(u) * num_racks + v]);
-      pairs.push_back(Request{u, v});
-    }
-  const AliasSampler sampler(weights);
-
+  MicrosoftEmitter emitter(num_racks, params, rng);
   Trace t(num_racks, "microsoft");
   t.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i)
-    t.push_back(pairs[sampler(rng)]);
+  for (std::size_t i = 0; i < num_requests; ++i) t.push_back(emitter.step());
   return t;
+}
+
+std::unique_ptr<TraceStream> stream_microsoft_like(
+    std::size_t num_racks, std::size_t num_requests,
+    const MicrosoftParams& params, const Xoshiro256& rng) {
+  return std::make_unique<MicrosoftStream>(num_racks, num_requests, params,
+                                           rng);
 }
 
 }  // namespace rdcn::trace

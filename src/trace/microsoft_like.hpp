@@ -15,8 +15,11 @@
 // The paper uses 50 racks and 1.75e6 requests.
 #pragma once
 
+#include <memory>
+
 #include "common/rng.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace rdcn::trace {
 
@@ -36,5 +39,11 @@ std::vector<double> make_microsoft_matrix(std::size_t num_racks,
 Trace generate_microsoft_like(std::size_t num_racks,
                               std::size_t num_requests,
                               const MicrosoftParams& params, Xoshiro256& rng);
+
+/// Streaming twin of generate_microsoft_like (chunked production, RNG
+/// snapshotted; see trace/trace_stream.hpp).
+std::unique_ptr<TraceStream> stream_microsoft_like(
+    std::size_t num_racks, std::size_t num_requests,
+    const MicrosoftParams& params, const Xoshiro256& rng);
 
 }  // namespace rdcn::trace

@@ -1,0 +1,89 @@
+// rdcn: streaming trace production — requests in fixed-size chunks.
+//
+// A TraceStream is the pull side of the batched serve pipeline: instead of
+// materializing a full Trace (8 bytes × requests) before the first request
+// is served, a stream produces the next chunk on demand, so a replay's
+// peak memory is one scratch chunk regardless of trace length.  Every
+// generator in trace/generators.hpp (plus the Facebook/Microsoft cluster
+// profiles) has a stream_* twin built on the same per-request emitter, so
+// a stream with seed s produces bit-identically the trace generate_*(s)
+// returns — pinned by the stream-equivalence test suite.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "trace/request.hpp"
+#include "trace/trace.hpp"
+
+namespace rdcn::trace {
+
+class TraceStream {
+ public:
+  TraceStream(std::size_t num_racks, std::string name, std::size_t total)
+      : num_racks_(num_racks), name_(std::move(name)), total_(total) {}
+  virtual ~TraceStream() = default;
+
+  TraceStream(const TraceStream&) = delete;
+  TraceStream& operator=(const TraceStream&) = delete;
+
+  std::size_t num_racks() const noexcept { return num_racks_; }
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Total number of requests this stream will produce over its lifetime
+  /// (σ is finite; the simulator uses this to clamp checkpoint grids the
+  /// same way it clamps against Trace::size()).
+  std::size_t total() const noexcept { return total_; }
+
+  /// Requests handed out so far.
+  std::size_t produced() const noexcept { return produced_; }
+
+  /// Fills out[0, n) with the next requests, n = min(max, remaining);
+  /// returns n (0 once exhausted).
+  std::size_t next(Request* out, std::size_t max) {
+    const std::size_t remaining = total_ - produced_;
+    const std::size_t n = max < remaining ? max : remaining;
+    if (n != 0) {
+      produce(out, n);
+      produced_ += n;
+    }
+    return n;
+  }
+
+ protected:
+  /// Produces exactly `n` requests into out (n >= 1, already clamped).
+  virtual void produce(Request* out, std::size_t n) = 0;
+
+ private:
+  std::size_t num_racks_;
+  std::string name_;
+  std::size_t total_;
+  std::size_t produced_ = 0;
+};
+
+/// Stream view over an existing Trace (chunked copies of its columns).
+class MaterializedStream final : public TraceStream {
+ public:
+  /// `trace` must outlive the stream.
+  explicit MaterializedStream(const Trace& trace)
+      : TraceStream(trace.num_racks(), trace.name(), trace.size()),
+        trace_(&trace) {}
+
+ protected:
+  void produce(Request* out, std::size_t n) override {
+    trace_->gather(produced(), n, out);
+  }
+
+ private:
+  const Trace* trace_;
+};
+
+/// Drains `stream` to exhaustion into a Trace (name and rack universe
+/// carried over).  The inverse of MaterializedStream.
+Trace materialize(TraceStream& stream);
+
+}  // namespace rdcn::trace

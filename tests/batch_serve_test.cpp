@@ -1,0 +1,153 @@
+// Batch-vs-scalar differential suite: the batched serve pipeline
+// (OnlineBMatcher::serve_batch + chunked run_simulation) must produce cost
+// ledgers bit-identical to the scalar serve() loop — for every registered
+// algorithm, across workload shapes and the full b range, at every
+// checkpoint.  This is the determinism contract that lets perf_gate treat
+// the batch path as a pure layout/scheduling optimization.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+#include "scenario/registry.hpp"
+#include "sim/simulator.hpp"
+#include "trace/facebook_like.hpp"
+#include "trace/generators.hpp"
+#include "trace/microsoft_like.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rdcn;
+using rdcn::testing::make_instance;
+
+void expect_identical_checkpoints(const sim::RunResult& scalar,
+                                  const sim::RunResult& batched,
+                                  const std::string& context) {
+  ASSERT_EQ(scalar.checkpoints.size(), batched.checkpoints.size()) << context;
+  for (std::size_t i = 0; i < scalar.checkpoints.size(); ++i) {
+    const sim::Checkpoint& s = scalar.checkpoints[i];
+    const sim::Checkpoint& b = batched.checkpoints[i];
+    EXPECT_EQ(s.requests, b.requests) << context << " cp " << i;
+    EXPECT_EQ(s.routing_cost, b.routing_cost) << context << " cp " << i;
+    EXPECT_EQ(s.reconfig_cost, b.reconfig_cost) << context << " cp " << i;
+    EXPECT_EQ(s.total_cost, b.total_cost) << context << " cp " << i;
+    EXPECT_EQ(s.direct_serves, b.direct_serves) << context << " cp " << i;
+    EXPECT_EQ(s.edge_adds, b.edge_adds) << context << " cp " << i;
+    EXPECT_EQ(s.edge_removals, b.edge_removals) << context << " cp " << i;
+    EXPECT_EQ(s.matching_size, b.matching_size) << context << " cp " << i;
+  }
+}
+
+std::vector<trace::Trace> make_traces() {
+  // FB/MS cluster profiles plus two synthetic extremes (no structure /
+  // adversarial churn).  Sizes chosen so chunk boundaries (kServeChunk =
+  // 4096) fall mid-trace.
+  std::vector<trace::Trace> traces;
+  constexpr std::size_t kRacks = 32;
+  constexpr std::size_t kRequests = 10'000;
+  {
+    Xoshiro256 rng(101);
+    traces.push_back(trace::generate_facebook_like(
+        trace::FacebookCluster::kDatabase, kRacks, kRequests, rng));
+  }
+  {
+    Xoshiro256 rng(202);
+    traces.push_back(
+        trace::generate_microsoft_like(kRacks, kRequests, {}, rng));
+  }
+  {
+    Xoshiro256 rng(303);
+    traces.push_back(trace::generate_uniform(kRacks, kRequests, rng));
+  }
+  traces.push_back(trace::generate_round_robin_star(kRacks, kRequests, 6));
+  return traces;
+}
+
+TEST(BatchServe, EveryAlgorithmBitIdenticalToScalarAcrossB) {
+  const net::Topology topo = net::make_fat_tree(32);
+  const std::vector<trace::Trace> traces = make_traces();
+  const std::vector<std::string> algorithms =
+      scenario::AlgorithmRegistry::instance().names();
+  ASSERT_GE(algorithms.size(), 7u);  // the full built-in portfolio
+
+  for (const trace::Trace& t : traces) {
+    for (const std::string& algorithm : algorithms) {
+      for (const std::size_t b : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}, std::size_t{64}}) {
+        const core::Instance inst = make_instance(topo.distances, b, 30);
+        const std::vector<std::uint64_t> grid =
+            sim::checkpoint_grid(t.size(), 7);
+        auto scalar_alg = scenario::make_algorithm(algorithm, inst, &t, 9);
+        const sim::RunResult scalar =
+            sim::run_simulation_scalar(*scalar_alg, t, grid);
+        auto batched_alg = scenario::make_algorithm(algorithm, inst, &t, 9);
+        const sim::RunResult batched =
+            sim::run_simulation(*batched_alg, t, grid);
+        expect_identical_checkpoints(
+            scalar, batched,
+            t.name() + "/" + algorithm + "/b=" + std::to_string(b));
+      }
+    }
+  }
+}
+
+TEST(BatchServe, DirectServeBatchCallMatchesServeLoop) {
+  // serve_batch on a raw span (no simulator) equals the serve() loop —
+  // including the default base-class implementation used by algorithms
+  // without an override (rotor).
+  const net::Topology topo = net::make_fat_tree(16);
+  Xoshiro256 rng(7);
+  const trace::Trace t = trace::generate_zipf_pairs(16, 5000, 1.1, rng);
+  std::vector<core::Request> all(t.size());
+  t.gather(0, t.size(), all.data());
+
+  for (const char* algorithm : {"bma", "r_bma", "greedy", "oblivious",
+                                "so_bma", "rotor"}) {
+    const core::Instance inst = make_instance(topo.distances, 3, 25);
+    auto a = scenario::make_algorithm(algorithm, inst, &t, 3);
+    for (const core::Request& r : t) a->serve(r);
+    auto b = scenario::make_algorithm(algorithm, inst, &t, 3);
+    // Uneven batch sizes, including empty and single-request batches.
+    std::size_t i = 0;
+    for (const std::size_t n : {std::size_t{1}, std::size_t{0},
+                                std::size_t{777}, std::size_t{1},
+                                std::size_t{2048}}) {
+      b->serve_batch(std::span<const core::Request>(all.data() + i, n));
+      i += n;
+    }
+    b->serve_batch(
+        std::span<const core::Request>(all.data() + i, all.size() - i));
+    EXPECT_EQ(a->costs().routing_cost, b->costs().routing_cost) << algorithm;
+    EXPECT_EQ(a->costs().reconfig_cost, b->costs().reconfig_cost)
+        << algorithm;
+    EXPECT_EQ(a->costs().requests, b->costs().requests) << algorithm;
+    EXPECT_EQ(a->costs().direct_serves, b->costs().direct_serves)
+        << algorithm;
+    EXPECT_EQ(a->costs().edge_adds, b->costs().edge_adds) << algorithm;
+    EXPECT_EQ(a->costs().edge_removals, b->costs().edge_removals)
+        << algorithm;
+    EXPECT_EQ(a->matching().size(), b->matching().size()) << algorithm;
+  }
+}
+
+TEST(BatchServe, ResetAfterBatchedRunReplaysIdentically) {
+  // reset() must restore the exact initial state after a batched run, so
+  // perf_gate's repeated-measurement loop (run, reset, run) is sound.
+  const net::Topology topo = net::make_fat_tree(16);
+  Xoshiro256 rng(13);
+  const trace::Trace t = trace::generate_hotspot(16, 9000, 0.25, 0.7, rng);
+  const core::Instance inst = make_instance(topo.distances, 4, 40);
+  for (const char* algorithm : {"bma", "r_bma", "so_bma"}) {
+    auto alg = scenario::make_algorithm(algorithm, inst, &t, 21);
+    const sim::RunResult first = sim::run_to_completion(*alg, t);
+    alg->reset();
+    const sim::RunResult second = sim::run_to_completion(*alg, t);
+    expect_identical_checkpoints(first, second, algorithm);
+  }
+}
+
+}  // namespace

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "scenario/scenario.hpp"
+#include "sim/report.hpp"
 
 namespace {
 
@@ -167,6 +169,55 @@ TEST(RunMatrix, CrossesTopologiesWithWorkloads) {
   EXPECT_EQ(results[4].spec.workload.name, "zipf");
   for (const ScenarioResult& r : results)
     EXPECT_EQ(r.runs.size(), 1u);
+}
+
+TEST(RunMatrix, ParallelExecutionIsThreadCountInvariant) {
+  // The matrix shards cells across the thread pool; per-cell seeds derive
+  // from the spec alone, so the emitted CSV must be byte-identical for any
+  // thread count (wall_seconds is the only run field allowed to differ, and
+  // the cost CSVs don't contain it).
+  ScenarioSpec base = ScenarioSpec::parse(
+      "algorithms=r_bma,bma;b=3;racks=12;requests=2000;trials=2;"
+      "checkpoints=3;seed=11");
+  const std::vector<Spec> topologies = {Spec::parse("ring"),
+                                        Spec::parse("leaf_spine:spines=3")};
+  const std::vector<Spec> workloads = {Spec::parse("uniform"),
+                                       Spec::parse("zipf:skew=1.2")};
+
+  const auto csv_of = [](const std::vector<ScenarioResult>& results) {
+    std::ostringstream out;
+    for (const ScenarioResult& r : results) {
+      // Identify the cell by its experiment axes only — `threads` is an
+      // execution detail and the one spec field allowed to differ.
+      out << r.spec.topology.to_string() << "|"
+          << r.spec.workload.to_string() << "\n";
+      sim::write_csv(out, r.runs, sim::Metric::kTotalCost);
+      sim::write_csv(out, r.runs, sim::Metric::kRoutingCost);
+    }
+    return out.str();
+  };
+
+  ScenarioSpec serial = base;
+  serial.threads = 1;
+  const std::string csv1 = csv_of(scenario::run_matrix(serial, topologies,
+                                                       workloads));
+  ScenarioSpec parallel = base;
+  parallel.threads = 4;
+  const std::string csv4 = csv_of(scenario::run_matrix(parallel, topologies,
+                                                       workloads));
+  EXPECT_EQ(csv1, csv4);
+  EXPECT_GT(csv1.size(), 100u);  // sanity: non-empty output
+}
+
+TEST(RunMatrix, WorkerErrorsPropagateAsSpecError) {
+  // A failure inside a sharded cell (here: a workload that needs more racks
+  // than the topology provides) must surface as SpecError on the calling
+  // thread, not terminate the pool.
+  ScenarioSpec base = ScenarioSpec::parse(
+      "algorithms=bma;b=2;racks=12;requests=500;checkpoints=2;seed=3");
+  const std::vector<Spec> workloads = {
+      Spec::parse("csv:path=/nonexistent/trace.csv")};
+  EXPECT_THROW(scenario::run_matrix(base, {}, workloads), SpecError);
 }
 
 }  // namespace

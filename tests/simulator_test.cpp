@@ -118,6 +118,75 @@ TEST(Simulator, ObliviousCostIsSumOfDistances) {
   EXPECT_EQ(r.final().reconfig_cost, 0u);
 }
 
+// Chunked replay must clip chunks at checkpoint boundaries: a grid point
+// landing anywhere inside a chunk — including adjacent points inside the
+// SAME chunk and points straddling chunk edges — snapshots exactly the
+// ledger the scalar serve() loop snapshots there.
+TEST(Simulator, CheckpointInsideChunkMatchesScalarAtEveryGridPoint) {
+  const net::Topology topo = net::make_fat_tree(16);
+  Xoshiro256 rng(51);
+  // Longer than two chunks so interior, boundary, and straddling cases all
+  // occur (kServeChunk = 4096).
+  const trace::Trace t =
+      trace::generate_zipf_pairs(16, 2 * sim::kServeChunk + 1234, 1.1, rng);
+  const std::vector<std::uint64_t> grid = {
+      1,
+      2,                      // adjacent points within the first chunk
+      sim::kServeChunk - 1,   // just before a chunk boundary
+      sim::kServeChunk,       // exactly on it
+      sim::kServeChunk + 1,   // just after it
+      sim::kServeChunk + 1,   // duplicate grid point
+      2 * sim::kServeChunk + 513,
+      t.size()};
+
+  for (const char* algorithm : {"bma", "r_bma", "greedy"}) {
+    const core::Instance inst = make_instance(topo.distances, 3, 25);
+    auto scalar_alg = scenario::make_algorithm(algorithm, inst, &t, 6);
+    const RunResult scalar = run_simulation_scalar(*scalar_alg, t, grid);
+    auto batched_alg = scenario::make_algorithm(algorithm, inst, &t, 6);
+    const RunResult batched = run_simulation(*batched_alg, t, grid);
+    ASSERT_EQ(scalar.checkpoints.size(), batched.checkpoints.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const Checkpoint& s = scalar.checkpoints[i];
+      const Checkpoint& b = batched.checkpoints[i];
+      EXPECT_EQ(s.requests, b.requests) << algorithm << " cp " << i;
+      EXPECT_EQ(s.routing_cost, b.routing_cost) << algorithm << " cp " << i;
+      EXPECT_EQ(s.reconfig_cost, b.reconfig_cost) << algorithm << " cp " << i;
+      EXPECT_EQ(s.direct_serves, b.direct_serves) << algorithm << " cp " << i;
+      EXPECT_EQ(s.edge_adds, b.edge_adds) << algorithm << " cp " << i;
+      EXPECT_EQ(s.edge_removals, b.edge_removals) << algorithm << " cp " << i;
+      EXPECT_EQ(s.matching_size, b.matching_size) << algorithm << " cp " << i;
+    }
+  }
+}
+
+TEST(Simulator, DenseGridForcesSubChunkClipping) {
+  // A grid denser than the chunk size degenerates every chunk to the gap
+  // between checkpoints; the run must still visit each point exactly once
+  // and serve nothing beyond the last.
+  const net::Topology topo = net::make_fat_tree(12);
+  Xoshiro256 rng(52);
+  const trace::Trace t = trace::generate_uniform(12, 300, rng);
+  std::vector<std::uint64_t> grid;
+  for (std::uint64_t cp = 0; cp <= 250; cp += 10) grid.push_back(cp);
+
+  const core::Instance inst = make_instance(topo.distances, 2, 10);
+  auto scalar_alg = scenario::make_algorithm("bma", inst, &t, 1);
+  const RunResult scalar = run_simulation_scalar(*scalar_alg, t, grid);
+  auto batched_alg = scenario::make_algorithm("bma", inst, &t, 1);
+  const RunResult batched = run_simulation(*batched_alg, t, grid);
+  ASSERT_EQ(scalar.checkpoints.size(), grid.size());
+  ASSERT_EQ(batched.checkpoints.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(scalar.checkpoints[i].requests, batched.checkpoints[i].requests);
+    EXPECT_EQ(scalar.checkpoints[i].total_cost,
+              batched.checkpoints[i].total_cost);
+  }
+  // The grid bounds the run in both modes.
+  EXPECT_EQ(scalar_alg->costs().requests, 250u);
+  EXPECT_EQ(batched_alg->costs().requests, 250u);
+}
+
 TEST(Metrics, AverageRunsIsExactForIdenticalRuns) {
   const net::Topology topo = net::make_fat_tree(12);
   Xoshiro256 rng(4);
