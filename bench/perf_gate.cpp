@@ -115,9 +115,16 @@ struct Measurement {
   std::size_t b = 0;
   double scalar_rps = 0.0;
   double batch_rps = 0.0;
+  /// Batched pipeline with kernel dispatch pinned to the scalar reference
+  /// (RDCN_FORCE_SCALAR_KERNELS semantics): the denominator of the
+  /// SIMD-vs-scalar-kernel speedup.
+  double batch_scalar_kernel_rps = 0.0;
   sim::Checkpoint final;
 
   double batch_speedup() const { return batch_rps / scalar_rps; }
+  double kernel_speedup() const {
+    return batch_rps / batch_scalar_kernel_rps;
+  }
 };
 
 const Golden* find_golden(const std::string& trace, const std::string& algo,
@@ -158,20 +165,80 @@ bool check_ledger(const Measurement& m, const sim::Checkpoint& final,
   return ok;
 }
 
-/// Geometric mean of the batched-vs-scalar speedup over every (trace, b)
-/// cell of `algorithm`.
-double algorithm_batch_geomean(const std::vector<Measurement>& results,
-                               const std::string& algorithm) {
+/// Geometric mean of a per-cell ratio over every (trace, b) cell of
+/// `algorithm`.
+template <typename Ratio>
+double algorithm_geomean(const std::vector<Measurement>& results,
+                         const std::string& algorithm, const Ratio& ratio) {
   double product = 1.0;
   std::size_t count = 0;
   for (const Measurement& m : results) {
     if (m.algorithm == algorithm) {
-      product *= m.batch_speedup();
+      product *= ratio(m);
       ++count;
     }
   }
   return count == 0 ? 0.0
                     : std::pow(product, 1.0 / static_cast<double>(count));
+}
+
+double algorithm_batch_geomean(const std::vector<Measurement>& results,
+                               const std::string& algorithm) {
+  return algorithm_geomean(results, algorithm, [](const Measurement& m) {
+    return m.batch_speedup();
+  });
+}
+
+double algorithm_kernel_geomean(const std::vector<Measurement>& results,
+                                const std::string& algorithm) {
+  return algorithm_geomean(results, algorithm, [](const Measurement& m) {
+    return m.kernel_speedup();
+  });
+}
+
+/// Interleaved best-of-N micro-measurement of the argmin kernel at row
+/// length b: dispatched (SIMD) vs the scalar reference, same fuzzed row
+/// pool.  Ratio-based, so the shared-machine load waves that make absolute
+/// req/s unreliable cancel out.
+volatile std::uint64_t g_kernel_sink = 0;
+
+double measure_argmin_speedup(std::size_t b, int reps) {
+  constexpr std::size_t kRows = 64;
+  Xoshiro256 rng(1234 + b);
+  std::vector<std::vector<std::uint64_t>> usage(kRows), age(kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    usage[r].resize(b);
+    age[r].resize(b);
+    for (std::size_t i = 0; i < b; ++i) {
+      usage[r][i] = rng.next_below(4);  // usage-counter shape: heavy ties
+      age[r][i] = 1 + rng.next_below(1u << 20);
+    }
+  }
+  // Equalize sample duration across b (~rows*iters*b element visits).
+  const std::size_t iters =
+      std::max<std::size_t>(1, 2'000'000 / (kRows * b));
+  const auto sample = [&](bool use_simd) {
+    std::uint64_t sink = 0;
+    Stopwatch watch;
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t r = 0; r < kRows; ++r) {
+        sink += use_simd
+                    ? simd::argmin_u64_pair(usage[r].data(), age[r].data(), b)
+                    : simd::scalar::argmin_u64_pair(usage[r].data(),
+                                                    age[r].data(), b);
+      }
+    }
+    g_kernel_sink = g_kernel_sink + sink;  // volatile += is deprecated
+    return watch.seconds();
+  };
+  (void)sample(true);  // warm-up both paths
+  (void)sample(false);
+  double best_simd = 1e100, best_scalar = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    best_scalar = std::min(best_scalar, sample(false));
+    best_simd = std::min(best_simd, sample(true));
+  }
+  return best_scalar / best_simd;
 }
 
 }  // namespace
@@ -193,6 +260,15 @@ int main(int argc, char** argv) {
     }
   }
   if (reps < 1) reps = 1;
+
+  // The kernel layer's dispatch state: perf_gate drives both modes itself
+  // (SIMD and forced-scalar) regardless of the ambient environment, and
+  // restores the ambient mode before exiting.
+  const bool ambient_force_scalar = simd::force_scalar();
+  std::printf("SIMD kernels: detected=%s active=%s%s\n",
+              simd::isa_name(simd::detected_isa()),
+              simd::isa_name(simd::active_isa()),
+              ambient_force_scalar ? " (RDCN_FORCE_SCALAR_KERNELS set)" : "");
 
   const net::Topology topo = net::make_fat_tree(kRacks);
   Xoshiro256 fb_rng(2023);
@@ -223,11 +299,16 @@ int main(int argc, char** argv) {
         m.trace = trace_name;
         m.algorithm = algo;
         m.b = b;
-        // Interleave the two paths within each rep so slow machine-load
-        // waves (the usual noise on shared CI boxes) bias neither side.
+        // Interleave the three timed variants within each rep so slow
+        // machine-load waves (the usual noise on shared CI boxes) bias no
+        // side; all reported numbers are ratios of best-of-N.
         double best_scalar = 1e100, best_batch = 1e100;
+        double best_batch_scalar_kernels = 1e100;
         sim::Checkpoint scalar_final, batch_final;
+        sim::Checkpoint batch_scalar_kernels_final;
+        sim::Checkpoint scalar_scalar_kernels_final;
         for (int rep = 0; rep < reps; ++rep) {
+          simd::set_force_scalar(false);
           matcher->reset();
           const sim::RunResult s =
               sim::run_simulation_scalar(*matcher, *t, {t->size()});
@@ -239,19 +320,43 @@ int main(int argc, char** argv) {
           if (r.final().wall_seconds < best_batch)
             best_batch = r.final().wall_seconds;
           batch_final = r.final();
+          // Same batched pipeline with kernels pinned to the scalar
+          // reference — the SIMD-vs-scalar-kernel speedup denominator.
+          simd::set_force_scalar(true);
+          matcher->reset();
+          const sim::RunResult k = sim::run_to_completion(*matcher, *t);
+          if (k.final().wall_seconds < best_batch_scalar_kernels)
+            best_batch_scalar_kernels = k.final().wall_seconds;
+          batch_scalar_kernels_final = k.final();
+          if (rep == 0) {
+            // Ledger-only: the scalar serve() path under forced-scalar
+            // kernels (the 4th path × dispatch combination).
+            matcher->reset();
+            const sim::RunResult sk =
+                sim::run_simulation_scalar(*matcher, *t, {t->size()});
+            scalar_scalar_kernels_final = sk.final();
+          }
+          simd::set_force_scalar(false);
         }
         m.scalar_rps = static_cast<double>(kRequests) / best_scalar;
         m.batch_rps = static_cast<double>(kRequests) / best_batch;
+        m.batch_scalar_kernel_rps =
+            static_cast<double>(kRequests) / best_batch_scalar_kernels;
         m.final = batch_final;
-        // Both execution paths must pin the same golden ledger.
+        // Every execution path × dispatch mode must pin the same golden
+        // ledger: kernel dispatch is a pure layout/scheduling concern.
         ledgers_ok = check_ledger(m, scalar_final, "scalar") && ledgers_ok;
         ledgers_ok = check_ledger(m, batch_final, "batched") && ledgers_ok;
+        ledgers_ok = check_ledger(m, batch_scalar_kernels_final,
+                                  "batched+scalar-kernels") && ledgers_ok;
+        ledgers_ok = check_ledger(m, scalar_scalar_kernels_final,
+                                  "scalar+scalar-kernels") && ledgers_ok;
         results.push_back(m);
         std::printf(
             "%-12s %-10s b=%-3zu scalar %10.0f req/s   batched %10.0f "
-            "req/s   (%.2fx)\n",
+            "req/s   (%.2fx batch, %.2fx kernels)\n",
             trace_name.c_str(), algo, b, m.scalar_rps, m.batch_rps,
-            m.batch_speedup());
+            m.batch_speedup(), m.kernel_speedup());
       }
     }
   }
@@ -299,7 +404,37 @@ int main(int argc, char** argv) {
       "PERF batched-vs-scalar core geomean (bma,r_bma,so_bma): %.2fx "
       "(target 1.30x): %s\n",
       core_geomean, core_geomean >= 1.3 ? "PASS" : "FAIL");
-  std::printf("LEDGER-CHECK all 30 anchors (both paths): %s\n",
+
+  // SIMD-vs-scalar-kernel speedup per algorithm (batched pipeline, both
+  // sides best-of-N interleaved) — the dividend the hot-kernel layer buys
+  // end to end.
+  std::vector<std::pair<std::string, double>> kernel_geomeans;
+  for (const char* algo : algorithms) {
+    kernel_geomeans.emplace_back(algo,
+                                 algorithm_kernel_geomean(results, algo));
+  }
+  for (const auto& [algo, g] : kernel_geomeans) {
+    std::printf("PERF kernel-vs-scalar-kernel %-10s geomean: %.2fx\n",
+                algo.c_str(), g);
+  }
+
+  // Isolated argmin kernel speedup (the BMA eviction-scan primitive) at
+  // the microbench row lengths; the b=64 point is the --strict gate.
+  const std::size_t kKernelRowLengths[] = {4, 16, 64, 256};
+  std::vector<std::pair<std::size_t, double>> argmin_speedups;
+  for (const std::size_t b : kKernelRowLengths) {
+    argmin_speedups.emplace_back(b, measure_argmin_speedup(b, reps));
+  }
+  double argmin_speedup_b64 = 0.0;
+  for (const auto& [b, s] : argmin_speedups) {
+    if (b == 64) argmin_speedup_b64 = s;
+    std::printf("PERF kernel argmin b=%-3zu SIMD-vs-scalar: %.2fx%s\n", b, s,
+                b == 64 ? (s >= 1.5 ? " (target 1.50x): PASS"
+                                    : " (target 1.50x): FAIL")
+                        : "");
+  }
+  std::printf("LEDGER-CHECK all 30 anchors (scalar+batched paths, SIMD and "
+              "forced-scalar kernels): %s\n",
               ledgers_ok ? "PASS" : "FAIL");
 
   // Matrix-level parallel execution: wall-clock for a small 2×2
@@ -348,6 +483,9 @@ int main(int argc, char** argv) {
        << ", \"requests\": " << kRequests << ", \"alpha\": " << kAlpha
        << ", \"seed\": " << kSeed << ", \"reps\": " << reps
        << ", \"threads\": 1, \"chunk_size\": " << sim::kServeChunk << "},\n";
+  json << "  \"simd\": {\"detected\": \""
+       << simd::isa_name(simd::detected_isa()) << "\", \"forced_scalar_env\": "
+       << (ambient_force_scalar ? "true" : "false") << "},\n";
   json << "  \"baseline\": {\"description\": \"pre-overhaul BMA req/s, "
           "facebook_db trace, seed commit\", \"bma_facebook_db\": {";
   for (std::size_t i = 0; i < std::size(kBmaFacebookBaseline); ++i) {
@@ -357,15 +495,16 @@ int main(int argc, char** argv) {
   json << "}},\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
-    char buf[640];
+    char buf[768];
     std::snprintf(buf, sizeof buf,
                   "    {\"trace\": \"%s\", \"algorithm\": \"%s\", \"b\": %zu, "
                   "\"requests_per_sec\": %.0f, "
                   "\"scalar_requests_per_sec\": %.0f, "
-                  "\"batch_speedup\": %.3f, \"routing_cost\": %llu, "
+                  "\"batch_speedup\": %.3f, \"kernel_speedup\": %.3f, "
+                  "\"routing_cost\": %llu, "
                   "\"reconfig_cost\": %llu, \"total_cost\": %llu}%s\n",
                   m.trace.c_str(), m.algorithm.c_str(), m.b, m.batch_rps,
-                  m.scalar_rps, m.batch_speedup(),
+                  m.scalar_rps, m.batch_speedup(), m.kernel_speedup(),
                   (unsigned long long)m.final.routing_cost,
                   (unsigned long long)m.final.reconfig_cost,
                   (unsigned long long)m.final.total_cost,
@@ -396,6 +535,21 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof buf, ", \"geomean_core\": %.3f", core_geomean);
     json << buf;
   }
+  json << "},\n  \"kernel_speedup_vs_scalar_kernels\": {";
+  for (std::size_t i = 0; i < kernel_geomeans.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %.3f", i != 0 ? ", " : "",
+                  kernel_geomeans[i].first.c_str(),
+                  kernel_geomeans[i].second);
+    json << buf;
+  }
+  json << "},\n  \"kernel_argmin_speedup\": {";
+  for (std::size_t i = 0; i < argmin_speedups.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s\"%zu\": %.3f", i != 0 ? ", " : "",
+                  argmin_speedups[i].first, argmin_speedups[i].second);
+    json << buf;
+  }
   json << "},\n";
   {
     char buf[256];
@@ -412,7 +566,17 @@ int main(int argc, char** argv) {
   json.close();
   std::printf("wrote %s\n", out_path.c_str());
 
+  simd::set_force_scalar(ambient_force_scalar);
+
   if (!ledgers_ok) return 1;
   if (strict && (baseline_geomean < 1.5 || core_geomean < 1.3)) return 1;
+  // The 1.5x argmin gate is calibrated for the AVX-512 kernel (the AVX2
+  // select loop is port-limited to ~1.3x on the reference hardware, and a
+  // scalar-only machine sits at 1.0 by construction) — apply it only where
+  // that kernel runs.
+  if (strict && simd::detected_isa() == simd::Isa::kAvx512 &&
+      argmin_speedup_b64 < 1.5) {
+    return 1;
+  }
   return 0;
 }

@@ -46,3 +46,33 @@ foreach(i RANGE 1 4)
 endforeach()
 
 message(STATUS "rdcn_sim smoke sweep OK: ${line_count} lines, header + 4 checkpoint rows")
+
+# Streamed twin of the sweep above: same scenario replayed through
+# --stream (constant-memory TraceStream path).  The ledger columns must be
+# bit-identical to the materialized run — stream twins replay the same
+# requests — so beyond being well-formed, the CSV must match the
+# materialized CSV line for line.
+execute_process(
+  COMMAND ${SIM}
+    --topology=torus:rows=3,cols=3 --racks=9
+    --workload=flow_pool:pairs=30,skew=1.1 --requests=3000
+    --algorithms=r_bma:engine=lru,bma --b=2,4
+    --trials=2 --checkpoints=4 --seed=7
+    --stream
+    --csv=${CSV}.streamed
+  RESULT_VARIABLE stream_rc
+  OUTPUT_VARIABLE stream_out
+  ERROR_VARIABLE stream_err)
+if(NOT stream_rc EQUAL 0)
+  message(FATAL_ERROR "rdcn_sim --stream exited with ${stream_rc}\nstdout:\n${stream_out}\nstderr:\n${stream_err}")
+endif()
+if(NOT stream_out MATCHES "streamed")
+  message(FATAL_ERROR "rdcn_sim --stream did not report streamed replay:\n${stream_out}")
+endif()
+
+file(STRINGS ${CSV}.streamed stream_lines)
+if(NOT stream_lines STREQUAL lines)
+  message(FATAL_ERROR "streamed CSV differs from materialized CSV:\n  materialized: ${lines}\n  streamed:     ${stream_lines}")
+endif()
+
+message(STATUS "rdcn_sim --stream smoke sweep OK: CSV bit-identical to materialized run")

@@ -40,6 +40,9 @@ constexpr FlagDoc kFlagDocs[] = {
     {"workload", "SPEC", "workload spec: name[:k=v,...] (default facebook_db)"},
     {"trace", "FILE", "shorthand for --workload=csv:path=FILE"},
     {"requests", "N", "trace length (default 100000)"},
+    {"stream", "",
+     "replay the workload as a TraceStream at constant memory (arbitrarily "
+     "long traces; offline algorithms and csv import unsupported)"},
     {"algorithms", "LIST",
      "comma-separated algorithm specs (default r_bma,bma,oblivious)"},
     {"b", "LIST", "cache sizes to sweep, e.g. 6,12,18 (default 12)"},
@@ -147,15 +150,27 @@ int main(int argc, char** argv) {
     const sim::Metric metric =
         sim::parse_metric(flags.get("metric", "routing_cost"));
 
-    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    const bool streamed = flags.get_bool("stream", false);
+    const scenario::ScenarioResult result =
+        streamed ? scenario::run_scenario_streamed(spec)
+                 : scenario::run_scenario(spec);
 
-    const trace::TraceStats stats = trace::compute_stats(result.workload);
     std::cout << "scenario: " << result.spec.to_string() << "\n";
-    std::cout << "workload=" << result.workload.name()
-              << " racks=" << result.workload.num_racks()
-              << " requests=" << result.workload.size()
-              << " gini=" << stats.gini
-              << " locality64=" << stats.locality_window64 << "\n\n";
+    if (streamed) {
+      // No materialized trace exists to compute stats over — that is the
+      // point of streaming.
+      std::cout << "workload=" << result.workload.name()
+                << " racks=" << result.workload.num_racks()
+                << " requests=" << result.spec.requests
+                << " (streamed: constant-memory replay, stats skipped)\n\n";
+    } else {
+      const trace::TraceStats stats = trace::compute_stats(result.workload);
+      std::cout << "workload=" << result.workload.name()
+                << " racks=" << result.workload.num_racks()
+                << " requests=" << result.workload.size()
+                << " gini=" << stats.gini
+                << " locality64=" << stats.locality_window64 << "\n\n";
+    }
     sim::print_table(std::cout, result.runs, metric, "rdcn_sim");
     sim::print_summary(std::cout, result.runs, result.runs.back());
 

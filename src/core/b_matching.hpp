@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/flat_hash.hpp"
+#include "common/simd.hpp"
 #include "common/small_vector.hpp"
 #include "core/types.hpp"
 
@@ -30,9 +31,14 @@ class BMatching {
   bool has(Rack u, Rack v) const noexcept {
     RDCN_DCHECK(u < adjacency_.size() && v < adjacency_.size());
     // Up to degree 16 the adjacency row is a single cache line of rack
-    // ids, so a linear scan beats a hash probe on the per-request
-    // membership check; the edge set answers the large-b case.
-    if (degree_cap_ <= 16) return adjacency_[u].contains(v);
+    // ids, so a (SIMD) linear scan beats a hash probe on the per-request
+    // membership check; the edge set answers the large-b case.  This row
+    // scan is shared machinery: r_bma's and so_bma's batch loops, greedy,
+    // and rotor all route their membership checks through it.
+    if (degree_cap_ <= 16) {
+      const SmallVector<Rack, 8>& row = adjacency_[u];
+      return simd::find_u32(row.data(), row.size(), v) != simd::kNpos;
+    }
     return edges_.contains(pair_key(u, v));
   }
   bool has_key(std::uint64_t key) const noexcept {

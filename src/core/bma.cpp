@@ -13,15 +13,17 @@ void Bma::on_request(const Request& r, bool matched) {
   // a fixed-network serve moves a pair toward admission), so the reference
   // implementation refreshes the eviction candidate at both endpoints on
   // every request.  This is the Θ(b) component of BMA's per-request cost.
-  request_state_ = nullptr;
-  eviction_candidate_[r.u] = scan_eviction_candidate(r.u, key);
-  eviction_candidate_[r.v] = scan_eviction_candidate(r.v, key);
+  RDCN_DCHECK(rows_.size(r.u) == matching_view().degree(r.u));
+  RDCN_DCHECK(rows_.size(r.v) == matching_view().degree(r.v));
+  const RackRows::ScanResult su = rows_.scan(r.u, key);
+  const RackRows::ScanResult sv = rows_.scan(r.v, key);
+  eviction_candidate_[r.u] = su.victim_key;
+  eviction_candidate_[r.v] = sv.victim_key;
 
   if (matched) {
     // A matched pair is incident to both endpoints, so the scans above
-    // already resolved its record — no extra probe.
-    RDCN_DCHECK(request_state_ != nullptr);
-    ++request_state_->usage;
+    // already located its row entries — no extra probe.
+    bump_matched(r, key, su.request_index, sv.request_index);
     return;
   }
 
@@ -33,32 +35,33 @@ void Bma::serve_batch(std::span<const Request> batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Request& r = batch[i];
     // One-request lookahead (only a batch knows its future): pull the next
-    // request's pair record and incident rows toward the cache while the
-    // current scans run.  Advisory only — no semantic effect.
+    // request's pair record and incident row columns toward the cache
+    // while the current scans run.  Advisory only — no semantic effect.
     if (i + 1 < batch.size()) {
       const Request& next = batch[i + 1];
       pairs_.prefetch(pair_key(next));
-      __builtin_prefetch(incident_[next.u].data());
-      __builtin_prefetch(incident_[next.v].data());
+      rows_.prefetch(next.u);
+      rows_.prefetch(next.v);
     }
     RDCN_DCHECK(r.u != r.v);
     ++clock_;
     const std::uint64_t key = pair_key(r);
-    request_state_ = nullptr;
-    eviction_candidate_[r.u] = scan_eviction_candidate(r.u, key);
-    eviction_candidate_[r.v] = scan_eviction_candidate(r.v, key);
+    const RackRows::ScanResult su = rows_.scan(r.u, key);
+    const RackRows::ScanResult sv = rows_.scan(r.v, key);
+    eviction_candidate_[r.u] = su.victim_key;
+    eviction_candidate_[r.v] = sv.victim_key;
     ++acc.requests;
-    // The incident rows mirror the matching adjacency (both mutate only at
-    // admission/eviction), so the pair is matched iff a scan captured its
-    // record — same verdict matching().has() would return, one Θ(b) probe
+    // The rack rows mirror the matching adjacency (both mutate only at
+    // admission/eviction), so the pair is matched iff a scan found its key
+    // — same verdict matching().has() would return, one Θ(b) probe
     // cheaper.  The scans read but never mutate the matching, so routing
     // still sees the pre-reconfiguration state the cost model prescribes.
-    RDCN_DCHECK((request_state_ != nullptr) ==
+    RDCN_DCHECK((su.request_index != RackRows::kNone) ==
                 matching_view().has(r.u, r.v));
-    if (PairState* matched_state = request_state_) {
+    if (su.request_index != RackRows::kNone) {
       acc.routing_cost += 1;
       ++acc.direct_serves;
-      ++matched_state->usage;
+      bump_matched(r, key, su.request_index, sv.request_index);
       continue;
     }
     const std::uint64_t d = dist(r.u, r.v);
@@ -66,6 +69,28 @@ void Bma::serve_batch(std::span<const Request> batch) {
     charge_and_maybe_admit(r, key, d);
   }
   commit_routing(acc);
+}
+
+void Bma::bump_matched(const Request& r, std::uint64_t key,
+                       std::size_t index_u, std::size_t index_v) {
+  RDCN_DCHECK(index_u != RackRows::kNone && index_v != RackRows::kNone);
+  rows_.bump_usage(r.u, index_u);
+  rows_.bump_usage(r.v, index_v);
+  // Keep the map's record authoritative: one validated O(1) slot access
+  // (FlatMap::at_index), with a real find() as the fallback when the
+  // cached hint went stale (rehash or backward-shift).
+  std::uint32_t& slot = rows_.slot_at(r.u, index_u);
+  PairState* s = pairs_.at_index(slot, key);
+  if (s == nullptr) {
+    const std::size_t index = pairs_.find_index(key);
+    slot = static_cast<std::uint32_t>(index);
+    s = pairs_.at_index(index, key);
+    RDCN_DCHECK(s != nullptr);
+  }
+  ++s->usage;
+  // Mirror invariant: both row copies track the map record exactly.
+  RDCN_DCHECK(s->usage == rows_.usage_at(r.u, index_u));
+  RDCN_DCHECK(s->usage == rows_.usage_at(r.v, index_v));
 }
 
 void Bma::charge_and_maybe_admit(const Request& r, std::uint64_t key,
@@ -84,67 +109,26 @@ void Bma::charge_and_maybe_admit(const Request& r, std::uint64_t key,
   admitted.charge = 0;
   admitted.usage = 0;
   admitted.admitted_at = clock_;
-  incident_[r.u].push_back({key, static_cast<std::uint32_t>(slot)});
-  incident_[r.v].push_back({key, static_cast<std::uint32_t>(slot)});
-}
-
-std::uint64_t Bma::scan_eviction_candidate(Rack w,
-                                           std::uint64_t request_key) {
-  auto& row = incident_[w];
-  RDCN_DCHECK(row.size() == matching_view().degree(w));
-  std::uint64_t victim_key = kNoCandidate;
-  std::uint64_t best_usage = ~std::uint64_t{0};
-  std::uint64_t best_age = ~std::uint64_t{0};
-  PairState* found = request_state_;  // keep the capture in a register
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    EdgeRef& e = row[i];
-    PairState* s = pairs_.at_index(e.slot, e.key);
-    if (s == nullptr) {  // slot index went stale: re-find and re-cache
-      const std::size_t idx = pairs_.find_index(e.key);
-      e.slot = static_cast<std::uint32_t>(idx);
-      s = pairs_.at_index(idx, e.key);
-      RDCN_DCHECK(s != nullptr);
-    }
-    found = e.key == request_key ? s : found;
-    // Least direct-serve usage; oldest admission breaks ties.  Admission
-    // ticks are unique, so the argmin is unique and iteration order never
-    // changes the outcome (branchless selects keep the loop tight).
-    const bool better = (s->usage < best_usage) |
-                        ((s->usage == best_usage) & (s->admitted_at < best_age));
-    best_usage = better ? s->usage : best_usage;
-    best_age = better ? s->admitted_at : best_age;
-    victim_key = better ? e.key : victim_key;
-  }
-  request_state_ = found;
-  return victim_key;
+  rows_.admit(r.u, key, static_cast<std::uint32_t>(slot), clock_);
+  rows_.admit(r.v, key, static_cast<std::uint32_t>(slot), clock_);
 }
 
 void Bma::evict_at(Rack w) {
   std::uint64_t victim_key = eviction_candidate_[w];
   // The cached candidate can be stale (evicted from the other endpoint in
-  // this very step); rescan if so.
+  // this very step); rescan if so.  kNoCandidate (0) is never a pair key,
+  // so the rescan's membership side-channel stays empty.
   if (victim_key == kNoCandidate || !matching_view().has_key(victim_key)) {
-    victim_key = scan_eviction_candidate(w, kNoCandidate);
+    victim_key = rows_.scan(w, kNoCandidate).victim_key;
   }
   RDCN_ASSERT_MSG(victim_key != kNoCandidate,
                   "evict_at on rack with no matching edges");
   pairs_.erase(victim_key);
   remove_matching_edge_key(victim_key);
-  drop_incident(victim_key);
+  [[maybe_unused]] const bool lo = rows_.evict(pair_lo(victim_key), victim_key);
+  [[maybe_unused]] const bool hi = rows_.evict(pair_hi(victim_key), victim_key);
+  RDCN_DCHECK(lo && hi);
   eviction_candidate_[w] = kNoCandidate;
-}
-
-void Bma::drop_incident(std::uint64_t key) {
-  for (const Rack w : {pair_lo(key), pair_hi(key)}) {
-    auto& row = incident_[w];
-    for (std::size_t i = 0; i < row.size(); ++i) {
-      if (row[i].key == key) {
-        row.swap_erase(i);
-        break;
-      }
-    }
-    RDCN_DCHECK(row.size() == matching_view().degree(w));
-  }
 }
 
 }  // namespace rdcn::core

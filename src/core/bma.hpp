@@ -16,26 +16,29 @@
 //
 // Per-request cost profile: following the paper's reference implementation
 // (and to keep admission O(1)), BMA maintains the eviction candidate at
-// each endpoint eagerly — every request to a non-matched pair re-scans the
-// ≤ b incident matching edges of both endpoints to refresh the candidate.
-// This Θ(b) request-path scan — which the randomized algorithm does not
-// need — is the mechanistic source of BMA's runtime growth with b seen in
-// the paper's Figs 1b–4b.  All per-pair bookkeeping lives in one
-// FlatMap<PairState> (see core/pair_state.hpp).  To keep the scan's
-// per-edge step cheap, BMA maintains a dense per-rack row of
-// {pair key, cached map slot} for the incident matching edges: each scan
-// step is then one validated O(1) slot access (FlatMap::at_index) instead
-// of a hash probe, with a real find() as the fallback when a slot index
-// went stale (rehash or backward-shift).  The rows mirror the matching
-// adjacency exactly — both are mutated only at admission and eviction —
-// and since admission clock ticks are unique, the scan's argmin victim is
-// unique, so row iteration order cannot affect the ledger.
+// each endpoint eagerly — every request re-scans the ≤ b incident matching
+// edges of both endpoints to refresh the candidate.  This Θ(b)
+// request-path scan — which the randomized algorithm does not need — is
+// the mechanistic source of BMA's runtime growth with b seen in the
+// paper's Figs 1b–4b.
+//
+// Since PR 5 the scan runs entirely over *resident SoA rack rows*
+// (core/rack_rows.hpp): each rack keeps dense keys[] / usage[] /
+// admitted_at[] columns mirroring its incident matching edges, written
+// through at every mutation point (admission, eviction, direct-serve
+// usage bump), so the scan is two streaming SIMD kernels
+// (simd::argmin_u64_pair + simd::find_u64) with zero hash probes and zero
+// pointer-chasing.  The FlatMap<PairState> remains the source of truth
+// for lookups (charge accounting); only the matched-request usage bump
+// touches it, through a validated cached-slot hint.  Admission clock
+// ticks are unique, so the scan's argmin victim is unique and neither row
+// order nor SIMD lane order can affect the ledger.
 #pragma once
 
 #include "common/flat_hash.hpp"
-#include "common/small_vector.hpp"
 #include "core/online_matcher.hpp"
 #include "core/pair_state.hpp"
+#include "core/rack_rows.hpp"
 
 namespace rdcn::core {
 
@@ -44,16 +47,16 @@ class Bma final : public OnlineBMatcher {
   explicit Bma(const Instance& instance)
       : OnlineBMatcher(instance),
         eviction_candidate_(instance.num_racks(), kNoCandidate),
-        incident_(instance.num_racks()) {}
+        rows_(instance.num_racks()) {}
 
   std::string name() const override { return "bma"; }
 
   /// Devirtualized chunk loop.  Beyond skipping the per-request virtual
   /// dispatch, it *fuses* the matched-membership check into the two
-  /// eviction-candidate scans: the incident rows mirror the matching
-  /// adjacency exactly, so the request's pair is matched iff one of the
-  /// scans captured its record (request_state_) — the separate adjacency
-  /// probe serve() pays disappears entirely.
+  /// eviction-candidate scans: the rack rows mirror the matching adjacency
+  /// exactly, so the request's pair is matched iff one of the scans found
+  /// its key — the separate adjacency probe serve() pays disappears
+  /// entirely.
   void serve_batch(std::span<const Request> batch) override;
 
   void reset() override {
@@ -61,7 +64,7 @@ class Bma final : public OnlineBMatcher {
     pairs_.clear();
     std::fill(eviction_candidate_.begin(), eviction_candidate_.end(),
               kNoCandidate);
-    for (auto& row : incident_) row.clear();
+    rows_.clear();
     clock_ = 0;
   }
 
@@ -74,15 +77,13 @@ class Bma final : public OnlineBMatcher {
  private:
   static constexpr std::uint64_t kNoCandidate = 0;
 
-  /// One incident matching edge at a rack: its canonical pair key plus a
-  /// cached slot index into pairs_ (validated on every use, so staleness
-  /// is harmless — at_index() just misses and we re-find).
-  struct EdgeRef {
-    std::uint64_t key;
-    std::uint32_t slot;
-  };
-
   void on_request(const Request& r, bool matched) override;
+
+  /// Matched-request tail: bumps the mirrored usage columns at both
+  /// endpoint rows (the scans captured the row indices) and the
+  /// authoritative map record via its validated slot hint.
+  void bump_matched(const Request& r, std::uint64_t key,
+                    std::size_t index_u, std::size_t index_v);
 
   /// Shared non-matched tail of the request path: accumulates `d` into the
   /// pair's counter and admits the pair once it has paid α (evicting at
@@ -90,24 +91,12 @@ class Bma final : public OnlineBMatcher {
   void charge_and_maybe_admit(const Request& r, std::uint64_t key,
                               std::uint64_t d);
 
-  /// Θ(b) scan: recomputes the least-used incident matching edge at w.
-  /// While iterating the row it also captures the record of `request_key`
-  /// if that edge is incident to w (side-channel into request_state_), so
-  /// a matched request never pays a separate hash probe for its own pair.
-  std::uint64_t scan_eviction_candidate(Rack w, std::uint64_t request_key);
-
   /// Evicts the cached candidate at w (falls back to a scan if stale).
   void evict_at(Rack w);
 
-  /// Removes the victim's row entries at both of its endpoints.
-  void drop_incident(std::uint64_t key);
-
-  FlatMap<PairState> pairs_;  ///< unified per-pair state (one probe/step)
+  FlatMap<PairState> pairs_;  ///< unified per-pair state (source of truth)
   std::vector<std::uint64_t> eviction_candidate_;  ///< per-rack victim key
-  /// Per-rack edge rows; 16 inline entries keep the paper's b range
-  /// (3–18) off the heap so a scan touches only contiguous memory.
-  std::vector<SmallVector<EdgeRef, 16>> incident_;
-  PairState* request_state_ = nullptr;  ///< scan side-channel (see above)
+  RackRows rows_;  ///< scan-resident SoA mirror of the incident edges
   std::uint64_t clock_ = 0;
 };
 

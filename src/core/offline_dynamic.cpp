@@ -80,6 +80,34 @@ void OfflineDynamic::on_request(const Request&, bool) {
   }
 }
 
+void OfflineDynamic::serve_batch(std::span<const Request> batch) {
+  RoutingDelta acc;
+  const BMatching& m = matching_view();
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    // Requests left in the current epoch: serve() switches plans after the
+    // request that completes a window, so a run never crosses a plan
+    // application and the matching is constant over it.
+    const std::size_t run = std::min<std::size_t>(
+        batch.size() - i, window_ - static_cast<std::size_t>(served_ % window_));
+    for (std::size_t j = i; j < i + run; ++j) {
+      const Request& r = batch[j];
+      RDCN_DCHECK(r.u != r.v);
+      const bool matched = m.has(r.u, r.v);
+      acc.routing_cost += matched ? 1 : dist(r.u, r.v);
+      ++acc.requests;
+      acc.direct_serves += matched ? 1 : 0;
+    }
+    i += run;
+    served_ += run;
+    if (served_ % window_ == 0 && next_plan_ < plans_.size()) {
+      apply_plan(next_plan_);
+      ++next_plan_;
+    }
+  }
+  commit_routing(acc);
+}
+
 void OfflineDynamic::reset() {
   OnlineBMatcher::reset();
   served_ = 0;

@@ -39,6 +39,13 @@ class OfflineDynamic final : public OnlineBMatcher {
 
   std::string name() const override { return "offline_dynamic"; }
 
+  /// Devirtualized chunk loop: processes the batch in window-sized runs —
+  /// the matching only changes at epoch boundaries, so the inner loop is
+  /// pure membership + routing accumulation with no per-request epoch
+  /// arithmetic.  Bit-identical to the serve() loop (pinned by the batch
+  /// differential suite).
+  void serve_batch(std::span<const Request> batch) override;
+
   void reset() override;
 
   std::size_t num_windows() const noexcept { return plans_.size(); }

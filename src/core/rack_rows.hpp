@@ -1,0 +1,145 @@
+// rdcn: resident SoA rack rows — the scan-side mirror of the per-pair map.
+//
+// PR 2 gave BMA dense per-rack {key, slot} rows so its Θ(b) eviction scan
+// could skip the hash probe, but every scan step still pointer-chased the
+// cached slot into the FlatMap to read {usage, admitted_at}: at b = 64 a
+// request paid ~2×64 dependent cache-line loads.  This structure finishes
+// the SoA progression (the same one PR 4 applied to traces): everything
+// the scan reads now lives in dense per-rack *columns*
+//
+//   keys[]         canonical pair ids of the incident matching edges,
+//   usage[]        direct serves since admission (mirrored at BOTH
+//                  endpoints of an edge — a bump writes both rows),
+//   admitted_at[]  admission clock tick,
+//   slot[]         cached FlatMap slot hint (validated on use; only the
+//                  matched-request bump touches the map at all),
+//
+// so the scan is two streaming kernel calls over contiguous memory
+// (simd::argmin_u64_pair over usage/admitted_at, simd::find_u64 over keys)
+// and zero map probes.  The FlatMap remains the source of truth for
+// lookups (charge accounting, existence); the rows are a write-through
+// mirror, updated at every mutation point — admission, eviction, and the
+// direct-serve usage bump.  Columns keep 16 inline entries so the paper's
+// b range (3–18) stays off the heap.
+//
+// Row order is maintained identically to the historical AoS rows
+// (push_back on admission, swap-erase on eviction), and admission ticks
+// are unique, so the lexicographic (usage, admitted_at) argmin has a
+// unique winner and iteration/lane order cannot affect the ledger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "common/small_vector.hpp"
+#include "core/types.hpp"
+
+namespace rdcn::core {
+
+class RackRows {
+ public:
+  static constexpr std::size_t kNone = simd::kNpos;
+
+  RackRows() = default;
+  explicit RackRows(std::size_t num_racks) : rows_(num_racks) {}
+
+  std::size_t size(Rack w) const noexcept { return rows_[w].keys.size(); }
+
+  /// What a rack scan yields: the eviction candidate (key of the least
+  /// (usage, admitted_at) incident edge; 0 when the row is empty) plus the
+  /// row index of `request_key` when that edge is incident here (kNone
+  /// otherwise) — the membership side-channel that lets the serve loop
+  /// skip a separate adjacency probe.
+  struct ScanResult {
+    std::uint64_t victim_key;
+    std::size_t request_index;
+  };
+
+  /// The Θ(b) scan as two streaming kernels over the row's columns.
+  ScanResult scan(Rack w, std::uint64_t request_key) const noexcept {
+    const Row& row = rows_[w];
+    const std::size_t n = row.keys.size();
+    ScanResult out;
+    out.request_index = simd::find_u64(row.keys.data(), n, request_key);
+    const std::size_t min_index =
+        simd::argmin_u64_pair(row.usage.data(), row.admitted_at.data(), n);
+    out.victim_key = min_index == simd::kNpos ? 0 : row.keys[min_index];
+    return out;
+  }
+
+  /// Appends the freshly admitted edge at endpoint `w` (usage 0, admission
+  /// tick `now`, map slot hint `slot`).
+  void admit(Rack w, std::uint64_t key, std::uint32_t slot,
+             std::uint64_t now) {
+    Row& row = rows_[w];
+    row.keys.push_back(key);
+    row.usage.push_back(0);
+    row.admitted_at.push_back(now);
+    row.slot.push_back(slot);
+  }
+
+  /// Swap-erases `key` from the row at `w`; returns whether it was found.
+  bool evict(Rack w, std::uint64_t key) noexcept {
+    Row& row = rows_[w];
+    const std::size_t i =
+        simd::find_u64(row.keys.data(), row.keys.size(), key);
+    if (i == simd::kNpos) return false;
+    row.keys.swap_erase(i);
+    row.usage.swap_erase(i);
+    row.admitted_at.swap_erase(i);
+    row.slot.swap_erase(i);
+    return true;
+  }
+
+  /// Direct-serve bump of the mirrored usage counter at one endpoint.
+  void bump_usage(Rack w, std::size_t index) noexcept {
+    RDCN_DCHECK(index < rows_[w].usage.size());
+    ++rows_[w].usage[index];
+  }
+
+  std::uint64_t key_at(Rack w, std::size_t index) const noexcept {
+    return rows_[w].keys[index];
+  }
+  std::uint64_t usage_at(Rack w, std::size_t index) const noexcept {
+    return rows_[w].usage[index];
+  }
+
+  /// Cached FlatMap slot hint (mutable: callers revalidate through
+  /// FlatMap::at_index and refresh a stale hint in place).
+  std::uint32_t& slot_at(Rack w, std::size_t index) noexcept {
+    return rows_[w].slot[index];
+  }
+
+  /// Hints the cache that `w`'s scan columns are about to be read.
+  /// Advisory only; used by batch serve loops that know the next request.
+  void prefetch(Rack w) const noexcept {
+    const Row& row = rows_[w];
+    __builtin_prefetch(row.keys.data());
+    __builtin_prefetch(row.usage.data());
+    __builtin_prefetch(row.admitted_at.data());
+  }
+
+  void clear() noexcept {
+    for (Row& row : rows_) {
+      row.keys.clear();
+      row.usage.clear();
+      row.admitted_at.clear();
+      row.slot.clear();
+    }
+  }
+
+ private:
+  /// Inline capacity 16 per column keeps the paper's b range off the heap;
+  /// the columns of one row grow and shrink in lockstep.
+  struct Row {
+    SmallVector<std::uint64_t, 16> keys;
+    SmallVector<std::uint64_t, 16> usage;
+    SmallVector<std::uint64_t, 16> admitted_at;
+    SmallVector<std::uint32_t, 16> slot;
+  };
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace rdcn::core

@@ -36,6 +36,13 @@ class Rotor final : public OnlineBMatcher {
 
   std::string name() const override { return "rotor"; }
 
+  /// Devirtualized chunk loop: processes the batch in slot-sized runs —
+  /// between two switch advances the schedule state is constant, so the
+  /// inner loop carries no per-request slot arithmetic, only the
+  /// membership check and routing accumulation.  Bit-identical to the
+  /// serve() loop (pinned by the batch differential suite).
+  void serve_batch(std::span<const Request> batch) override;
+
   void reset() override;
 
   /// Number of distinct matchings in the schedule (n-1 for even n).

@@ -1,7 +1,10 @@
 // Built-in workload entries wrapping the trace::generate_* primitives, the
 // Facebook/Microsoft cluster profiles, and CSV trace import.  Every builder
 // threads the scenario RNG through, so a fixed seed reproduces the trace
-// bit-for-bit.
+// bit-for-bit.  Generators with a stream_* twin also register it (the
+// `stream` half of the entry), so `rdcn_sim --stream` and the stream-fed
+// simulator overload replay the identical request sequence at constant
+// memory.
 #include <fstream>
 
 #include "scenario/builtins.hpp"
@@ -22,7 +25,36 @@ WorkloadEntry facebook(std::string summary, trace::FacebookCluster cluster) {
                       const ParamMap&, Xoshiro256& rng) {
     return trace::generate_facebook_like(cluster, racks, requests, rng);
   };
+  e.stream = [cluster](std::size_t racks, std::size_t requests,
+                       const ParamMap&, const Xoshiro256& rng) {
+    return trace::stream_facebook_like(cluster, racks, requests, rng);
+  };
   return e;
+}
+
+/// Shared by the flow_pool build and stream halves so the two can never
+/// drift apart on parameter names or defaults.
+trace::FlowPoolParams parse_flow_pool(const ParamMap& params) {
+  trace::FlowPoolParams p;
+  p.candidate_pairs = params.get<std::size_t>("pairs", 1000);
+  p.zipf_skew = params.get<double>("skew", 1.0);
+  p.mean_burst_length = params.get<double>("burst", 20.0);
+  p.max_active_flows = params.get<std::size_t>("active", 50);
+  p.new_flow_prob = params.get<double>("arrival", 0.05);
+  p.drift_period = params.get<std::size_t>("drift", 0);
+  p.drift_fraction = params.get<double>("drift_fraction", 0.1);
+  p.hub_fraction = params.get<double>("hub_fraction", 0.0);
+  p.hub_bias = params.get<double>("hub_bias", 0.8);
+  p.noise_fraction = params.get<double>("noise", 0.0);
+  return p;
+}
+
+trace::MicrosoftParams parse_microsoft(const ParamMap& params) {
+  trace::MicrosoftParams p;
+  p.rack_skew = params.get<double>("rack_skew", 1.2);
+  p.num_elephants = params.get<std::size_t>("elephants", 25);
+  p.elephant_boost = params.get<double>("boost", 30.0);
+  return p;
 }
 
 }  // namespace
@@ -35,6 +67,10 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
                  Xoshiro256& rng) {
       return trace::generate_uniform(racks, requests, rng);
     };
+    e.stream = [](std::size_t racks, std::size_t requests, const ParamMap&,
+                  const Xoshiro256& rng) {
+      return trace::stream_uniform(racks, requests, rng);
+    };
     registry.add("uniform", std::move(e));
   }
   {
@@ -45,6 +81,11 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
                  const ParamMap& params, Xoshiro256& rng) {
       return trace::generate_zipf_pairs(racks, requests,
                                         params.get<double>("skew", 1.0), rng);
+    };
+    e.stream = [](std::size_t racks, std::size_t requests,
+                  const ParamMap& params, const Xoshiro256& rng) {
+      return trace::stream_zipf_pairs(racks, requests,
+                                      params.get<double>("skew", 1.0), rng);
     };
     registry.add("zipf", std::move(e));
   }
@@ -60,6 +101,12 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
                                      params.get<double>("hot_share", 0.8),
                                      rng);
     };
+    e.stream = [](std::size_t racks, std::size_t requests,
+                  const ParamMap& params, const Xoshiro256& rng) {
+      return trace::stream_hotspot(racks, requests,
+                                   params.get<double>("hot_fraction", 0.1),
+                                   params.get<double>("hot_share", 0.8), rng);
+    };
     registry.add("hotspot", std::move(e));
   }
   {
@@ -68,6 +115,10 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
     e.build = [](std::size_t racks, std::size_t requests, const ParamMap&,
                  Xoshiro256& rng) {
       return trace::generate_permutation(racks, requests, rng);
+    };
+    e.stream = [](std::size_t racks, std::size_t requests, const ParamMap&,
+                  const Xoshiro256& rng) {
+      return trace::stream_permutation(racks, requests, rng);
     };
     registry.add("permutation", std::move(e));
   }
@@ -90,18 +141,13 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
                 {"noise", "fraction of uniform background requests", "0"}};
     e.build = [](std::size_t racks, std::size_t requests,
                  const ParamMap& params, Xoshiro256& rng) {
-      trace::FlowPoolParams p;
-      p.candidate_pairs = params.get<std::size_t>("pairs", 1000);
-      p.zipf_skew = params.get<double>("skew", 1.0);
-      p.mean_burst_length = params.get<double>("burst", 20.0);
-      p.max_active_flows = params.get<std::size_t>("active", 50);
-      p.new_flow_prob = params.get<double>("arrival", 0.05);
-      p.drift_period = params.get<std::size_t>("drift", 0);
-      p.drift_fraction = params.get<double>("drift_fraction", 0.1);
-      p.hub_fraction = params.get<double>("hub_fraction", 0.0);
-      p.hub_bias = params.get<double>("hub_bias", 0.8);
-      p.noise_fraction = params.get<double>("noise", 0.0);
-      return trace::generate_flow_pool(racks, requests, p, rng);
+      return trace::generate_flow_pool(racks, requests,
+                                       parse_flow_pool(params), rng);
+    };
+    e.stream = [](std::size_t racks, std::size_t requests,
+                  const ParamMap& params, const Xoshiro256& rng) {
+      return trace::stream_flow_pool(racks, requests, parse_flow_pool(params),
+                                     rng);
     };
     registry.add("flow_pool", std::move(e));
   }
@@ -118,6 +164,13 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
           params.get<double>("share", 0.7), params.get<double>("run", 40.0),
           rng);
     };
+    e.stream = [](std::size_t racks, std::size_t requests,
+                  const ParamMap& params, const Xoshiro256& rng) {
+      return trace::stream_elephant_mice(
+          racks, requests, params.get<std::size_t>("elephants", 16),
+          params.get<double>("share", 0.7), params.get<double>("run", 40.0),
+          rng);
+    };
     registry.add("elephant_mice", std::move(e));
   }
   {
@@ -128,6 +181,11 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
     e.build = [](std::size_t racks, std::size_t requests,
                  const ParamMap& params, Xoshiro256&) {
       return trace::generate_round_robin_star(
+          racks, requests, params.get<std::size_t>("k", 8));
+    };
+    e.stream = [](std::size_t racks, std::size_t requests,
+                  const ParamMap& params, const Xoshiro256&) {
+      return trace::stream_round_robin_star(
           racks, requests, params.get<std::size_t>("k", 8));
     };
     WorkloadEntry alias = e;
@@ -156,11 +214,13 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
                 {"boost", "weight multiplier for elephant entries", "30"}};
     e.build = [](std::size_t racks, std::size_t requests,
                  const ParamMap& params, Xoshiro256& rng) {
-      trace::MicrosoftParams p;
-      p.rack_skew = params.get<double>("rack_skew", 1.2);
-      p.num_elephants = params.get<std::size_t>("elephants", 25);
-      p.elephant_boost = params.get<double>("boost", 30.0);
-      return trace::generate_microsoft_like(racks, requests, p, rng);
+      return trace::generate_microsoft_like(racks, requests,
+                                            parse_microsoft(params), rng);
+    };
+    e.stream = [](std::size_t racks, std::size_t requests,
+                  const ParamMap& params, const Xoshiro256& rng) {
+      return trace::stream_microsoft_like(racks, requests,
+                                          parse_microsoft(params), rng);
     };
     registry.add("microsoft", std::move(e));
   }
@@ -170,6 +230,8 @@ void register_builtin_workloads(WorkloadRegistry& registry) {
                 "header optional)";
     e.params = {{"path", "CSV file to read", ""},
                 {"limit", "truncate to the first N requests; 0 = all", "0"}};
+    // No stream half: a CSV import is materialized by nature (make_stream
+    // reports "no streaming form" for it).
     e.build = [](std::size_t, std::size_t, const ParamMap& params,
                  Xoshiro256&) {
       const std::string path = params.get<std::string>("path");

@@ -172,6 +172,27 @@ trace::Trace WorkloadRegistry::make(const Spec& spec, std::size_t racks,
   return trace;
 }
 
+bool WorkloadRegistry::streamable(const std::string& name) const {
+  const WorkloadEntry* entry = find(name);
+  return entry != nullptr && entry->stream != nullptr;
+}
+
+std::unique_ptr<trace::TraceStream> WorkloadRegistry::make_stream(
+    const Spec& spec, std::size_t racks, std::size_t requests,
+    const Xoshiro256& rng) const {
+  validate(spec);
+  const WorkloadEntry& entry = at(spec.name);
+  if (entry.stream == nullptr)
+    throw SpecError("workload '" + spec.name +
+                    "' has no streaming form (only materialized traces)");
+  ParamMap params = spec.params;
+  params.reset_consumption();
+  std::unique_ptr<trace::TraceStream> stream =
+      entry.stream(racks, requests, params, rng);
+  params.require_all_consumed("workload '" + spec.name + "'");
+  return stream;
+}
+
 std::unique_ptr<core::OnlineBMatcher> make_algorithm(
     const std::string& spec, const core::Instance& instance,
     const trace::Trace* full_trace, std::uint64_t seed) {

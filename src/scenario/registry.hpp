@@ -44,6 +44,7 @@
 #include "core/online_matcher.hpp"
 #include "net/topology.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace rdcn::scenario {
 
@@ -83,6 +84,15 @@ struct WorkloadEntry {
   std::function<trace::Trace(std::size_t racks, std::size_t requests,
                              const ParamMap& params, Xoshiro256& rng)>
       build;
+  /// Optional streaming twin of `build`: produces bit-identically the
+  /// trace build() returns for the same RNG state, but chunk by chunk at
+  /// constant memory (the rng is snapshotted, never advanced — the
+  /// trace/generators.hpp stream_* convention).  Null when the workload
+  /// has no streaming form (e.g. csv import).
+  std::function<std::unique_ptr<trace::TraceStream>(
+      std::size_t racks, std::size_t requests, const ParamMap& params,
+      const Xoshiro256& rng)>
+      stream;
 };
 
 template <typename Entry>
@@ -148,6 +158,19 @@ class WorkloadRegistry : public Registry<WorkloadEntry> {
 
   trace::Trace make(const Spec& spec, std::size_t racks,
                     std::size_t requests, Xoshiro256& rng) const;
+
+  /// Whether `name` has a streaming twin registered.
+  bool streamable(const std::string& name) const;
+
+  /// Builds the workload as a TraceStream (constant-memory replay of
+  /// arbitrarily long traces).  The rng is snapshotted, not advanced, and
+  /// the stream's request sequence is bit-identical to what make() would
+  /// return for the same rng state.  Throws SpecError when the workload
+  /// has no streaming form.
+  std::unique_ptr<trace::TraceStream> make_stream(const Spec& spec,
+                                                  std::size_t racks,
+                                                  std::size_t requests,
+                                                  const Xoshiro256& rng) const;
 };
 
 /// Convenience wrappers taking compact spec strings ("r_bma:engine=lru").

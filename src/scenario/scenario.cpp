@@ -130,14 +130,12 @@ ScenarioSpec ScenarioSpec::resolved() const {
   return out;
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
-  const ScenarioSpec spec = raw_spec.resolved();
+namespace {
 
-  // One RNG stream seeds topology construction, then workload generation —
-  // the same order the historical rdcn_sim driver used, so a fixed seed
-  // reproduces its networks and traces exactly.
-  Xoshiro256 rng(spec.seed);
-  ScenarioResult result;
+/// Shared head of run_scenario / run_scenario_streamed: topology built and
+/// the RNG left exactly where workload generation starts.
+std::size_t build_topology(const ScenarioSpec& spec, Xoshiro256& rng,
+                           ScenarioResult& result) {
   result.spec = spec;
   result.topology =
       TopologyRegistry::instance().make(spec.topology, spec.racks, rng);
@@ -145,17 +143,21 @@ ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
   // sizes (2^dim hypercubes, rows x cols tori).  Generate the workload over
   // what the network actually provides so explicit topology dimensions
   // always yield a runnable scenario.
-  const std::size_t workload_racks =
-      std::min(spec.racks, result.topology.num_racks());
-  result.workload = WorkloadRegistry::instance().make(
-      spec.workload, workload_racks, spec.requests, rng);
-  if (result.workload.num_racks() > result.topology.num_racks())
+  return std::min(spec.racks, result.topology.num_racks());
+}
+
+void check_workload_fits(const ScenarioSpec& spec, std::size_t workload_racks,
+                         const ScenarioResult& result) {
+  if (workload_racks > result.topology.num_racks())
     throw SpecError(
         "workload '" + spec.workload.to_string() + "' uses " +
-        std::to_string(result.workload.num_racks()) +
-        " racks but topology '" + spec.topology.to_string() +
-        "' provides only " + std::to_string(result.topology.num_racks()));
+        std::to_string(workload_racks) + " racks but topology '" +
+        spec.topology.to_string() + "' provides only " +
+        std::to_string(result.topology.num_racks()));
+}
 
+sim::ExperimentConfig make_experiment_config(const ScenarioSpec& spec,
+                                             const ScenarioResult& result) {
   sim::ExperimentConfig config;
   config.distances = &result.topology.distances;
   config.alpha = spec.alpha;
@@ -164,7 +166,11 @@ ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
   config.trials = spec.trials;
   config.base_seed = spec.seed;
   config.threads = spec.threads;
+  return config;
+}
 
+std::vector<sim::ExperimentSpec> make_experiment_specs(
+    const ScenarioSpec& spec) {
   const AlgorithmRegistry& registry = AlgorithmRegistry::instance();
   std::vector<sim::ExperimentSpec> experiment_specs;
   for (const Spec& algorithm : spec.algorithms) {
@@ -180,8 +186,58 @@ ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
       if (b_independent) break;  // one column suffices for a b sweep
     }
   }
+  return experiment_specs;
+}
 
-  result.runs = sim::run_experiment(config, result.workload, experiment_specs);
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
+  const ScenarioSpec spec = raw_spec.resolved();
+
+  // One RNG stream seeds topology construction, then workload generation —
+  // the same order the historical rdcn_sim driver used, so a fixed seed
+  // reproduces its networks and traces exactly.
+  Xoshiro256 rng(spec.seed);
+  ScenarioResult result;
+  const std::size_t workload_racks = build_topology(spec, rng, result);
+  result.workload = WorkloadRegistry::instance().make(
+      spec.workload, workload_racks, spec.requests, rng);
+  check_workload_fits(spec, result.workload.num_racks(), result);
+
+  result.runs = sim::run_experiment(make_experiment_config(spec, result),
+                                    result.workload,
+                                    make_experiment_specs(spec));
+  return result;
+}
+
+ScenarioResult run_scenario_streamed(const ScenarioSpec& raw_spec) {
+  const ScenarioSpec spec = raw_spec.resolved();
+
+  Xoshiro256 rng(spec.seed);
+  ScenarioResult result;
+  const std::size_t workload_racks = build_topology(spec, rng, result);
+  // Snapshot the RNG exactly where run_scenario would generate the
+  // workload: the stream twins replay bit-identically the trace a
+  // materialized run would serve, so both entry points yield the same
+  // ledgers for the same spec.
+  const Xoshiro256 workload_rng = rng;
+  const WorkloadRegistry& workloads = WorkloadRegistry::instance();
+  // Probe stream: surfaces "no streaming form" / bad parameters on this
+  // thread, and carries the name and rack universe for reporting.
+  const std::unique_ptr<trace::TraceStream> probe = workloads.make_stream(
+      spec.workload, workload_racks, spec.requests, workload_rng);
+  check_workload_fits(spec, probe->num_racks(), result);
+  result.workload = trace::Trace(probe->num_racks(), probe->name());
+
+  const sim::StreamFactory factory = [&workloads, workload = spec.workload,
+                                      workload_racks,
+                                      requests = spec.requests,
+                                      workload_rng]() {
+    return workloads.make_stream(workload, workload_racks, requests,
+                                 workload_rng);
+  };
+  result.runs = sim::run_experiment(make_experiment_config(spec, result),
+                                    factory, make_experiment_specs(spec));
   return result;
 }
 

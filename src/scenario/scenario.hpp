@@ -65,6 +65,16 @@ struct ScenarioResult {
 /// runs every algorithm × b through sim::run_experiment.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
 
+/// Streaming variant: the workload is replayed through
+/// WorkloadRegistry::make_stream at constant memory (one serve chunk per
+/// worker) instead of being materialized — arbitrarily long traces fit.
+/// Ledgers are identical to run_scenario for the same spec (stream twins
+/// are bit-identical to their generators; pinned by scenario_test).
+/// Offline comparators (need the full trace) and stream-less workloads
+/// (csv) raise SpecError.  The result's `workload` member is an empty
+/// placeholder Trace carrying only the stream's name and rack universe.
+ScenarioResult run_scenario_streamed(const ScenarioSpec& spec);
+
 /// The §3.1 matrix: `base` crossed with every topology × workload
 /// combination, in row-major (topology-outer) order.  Empty lists reuse the
 /// base spec's entry.  Cells are independent and run in parallel on the

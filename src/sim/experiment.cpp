@@ -14,11 +14,18 @@ bool is_randomized(const std::string& algorithm) {
   return entry != nullptr && entry->randomized;
 }
 
-std::vector<RunResult> run_experiment(const ExperimentConfig& config,
-                                      const trace::Trace& trace,
-                                      const std::vector<ExperimentSpec>& specs) {
+namespace {
+
+/// Shared driver of both run_experiment overloads: validates the specs,
+/// expands them into independent (spec, trial) tasks with deterministic
+/// paired seeds, shards the tasks over the persistent ThreadPool, and
+/// averages each spec's trials.  `run_one(spec, seed)` executes a single
+/// trial and may throw (first error is rethrown on the calling thread).
+template <typename RunOne>
+std::vector<RunResult> run_tasks(const ExperimentConfig& config,
+                                 const std::vector<ExperimentSpec>& specs,
+                                 const RunOne& run_one) {
   RDCN_ASSERT_MSG(config.distances != nullptr, "config needs distances");
-  RDCN_ASSERT_MSG(!trace.empty(), "empty trace");
 
   // Fail fast on unknown algorithm names / parameters before any trial
   // spends work (and on this thread, where SpecError can propagate).
@@ -44,9 +51,6 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
       tasks.push_back({s, config.base_seed + t});
   }
 
-  const std::vector<std::uint64_t> grid =
-      checkpoint_grid(trace.size(), config.checkpoints);
-
   // parallel_for tasks must not throw; capture the first construction
   // error (e.g. a required parameter a custom entry forgot to default)
   // and rethrow it on the calling thread.
@@ -60,16 +64,8 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
       [&](std::size_t i) {
         const Task& task = tasks[i];
         const ExperimentSpec& spec = specs[task.spec_index];
-        core::Instance instance;
-        instance.distances = config.distances;
-        instance.b = spec.b;
-        instance.a = config.a;
-        instance.alpha = config.alpha;
-
         try {
-          auto matcher = registry.make({spec.algorithm, spec.params},
-                                       instance, &trace, task.seed);
-          RunResult r = run_simulation(*matcher, trace, grid);
+          RunResult r = run_one(spec, task.seed);
           r.seed = task.seed;
           r.algorithm = spec.display();
           raw[i] = std::move(r);
@@ -95,6 +91,59 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
     out.push_back(average_runs(group));
   }
   return out;
+}
+
+core::Instance make_instance(const ExperimentConfig& config,
+                             const ExperimentSpec& spec) {
+  core::Instance instance;
+  instance.distances = config.distances;
+  instance.b = spec.b;
+  instance.a = config.a;
+  instance.alpha = config.alpha;
+  return instance;
+}
+
+}  // namespace
+
+std::vector<RunResult> run_experiment(const ExperimentConfig& config,
+                                      const trace::Trace& trace,
+                                      const std::vector<ExperimentSpec>& specs) {
+  RDCN_ASSERT_MSG(!trace.empty(), "empty trace");
+  const scenario::AlgorithmRegistry& registry =
+      scenario::AlgorithmRegistry::instance();
+  const std::vector<std::uint64_t> grid =
+      checkpoint_grid(trace.size(), config.checkpoints);
+  return run_tasks(
+      config, specs,
+      [&](const ExperimentSpec& spec, std::uint64_t seed) {
+        auto matcher = registry.make({spec.algorithm, spec.params},
+                                     make_instance(config, spec), &trace,
+                                     seed);
+        return run_simulation(*matcher, trace, grid);
+      });
+}
+
+std::vector<RunResult> run_experiment(const ExperimentConfig& config,
+                                      const StreamFactory& make_stream,
+                                      const std::vector<ExperimentSpec>& specs) {
+  RDCN_ASSERT_MSG(make_stream != nullptr, "null stream factory");
+  const scenario::AlgorithmRegistry& registry =
+      scenario::AlgorithmRegistry::instance();
+  return run_tasks(
+      config, specs,
+      [&](const ExperimentSpec& spec, std::uint64_t seed) {
+        // full_trace = nullptr: offline comparators raise SpecError here —
+        // a stream cannot hand them the whole trace up front.
+        auto matcher = registry.make({spec.algorithm, spec.params},
+                                     make_instance(config, spec), nullptr,
+                                     seed);
+        auto stream = make_stream();
+        RDCN_ASSERT_MSG(stream != nullptr && stream->produced() == 0,
+                        "stream factory must yield fresh streams");
+        const std::vector<std::uint64_t> grid =
+            checkpoint_grid(stream->total(), config.checkpoints);
+        return run_simulation(*matcher, *stream, grid);
+      });
 }
 
 }  // namespace rdcn::sim

@@ -7,6 +7,8 @@
 // single trial since repetition would be a no-op.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "net/distance_matrix.hpp"
 #include "sim/metrics.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace rdcn::sim {
 
@@ -48,6 +51,22 @@ bool is_randomized(const std::string& algorithm);
 /// spec, in spec order.
 std::vector<RunResult> run_experiment(const ExperimentConfig& config,
                                       const trace::Trace& trace,
+                                      const std::vector<ExperimentSpec>& specs);
+
+/// Factory producing a fresh, unconsumed stream of the workload.  Called
+/// once per (spec, trial) task — possibly from several pool workers at
+/// once, so it must be thread-safe (the registry stream builders are: they
+/// snapshot their RNG instead of sharing it).
+using StreamFactory = std::function<std::unique_ptr<trace::TraceStream>()>;
+
+/// Streaming variant: same trial expansion, seeds, and averaging as the
+/// trace overload — and identical ledgers when the factory's streams
+/// replay the same request sequence — but peak memory is one serve chunk
+/// per worker regardless of trace length.  Offline algorithms
+/// (needs_full_trace) raise SpecError: a stream cannot hand them the
+/// complete trace up front.
+std::vector<RunResult> run_experiment(const ExperimentConfig& config,
+                                      const StreamFactory& make_stream,
                                       const std::vector<ExperimentSpec>& specs);
 
 }  // namespace rdcn::sim

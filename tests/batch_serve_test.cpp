@@ -134,6 +134,63 @@ TEST(BatchServe, DirectServeBatchCallMatchesServeLoop) {
   }
 }
 
+TEST(BatchServe, RotorSlotBoundariesStraddleBatchBoundaries) {
+  // rotor's devirtualized override walks the batch in slot-sized runs;
+  // slot lengths coprime to the batch splits below force runs to straddle
+  // batch boundaries and batch boundaries to fall mid-slot (including the
+  // degenerate slot=1 "install after every request" extreme).
+  const net::Topology topo = net::make_fat_tree(24);
+  Xoshiro256 rng(31);
+  const trace::Trace t = trace::generate_zipf_pairs(24, 11'000, 1.2, rng);
+  std::vector<core::Request> all(t.size());
+  t.gather(0, t.size(), all.data());
+  for (const char* spec : {"rotor:slot=1", "rotor:slot=97",
+                           "rotor:slot=100000", "rotor:slot=97,staggered=false"}) {
+    const core::Instance inst = make_instance(topo.distances, 5, 30);
+    auto scalar = scenario::make_algorithm(spec, inst, &t, 3);
+    for (const core::Request& r : t) scalar->serve(r);
+    auto batched = scenario::make_algorithm(spec, inst, &t, 3);
+    std::size_t i = 0;
+    for (const std::size_t n :
+         {std::size_t{96}, std::size_t{1}, std::size_t{4096},
+          std::size_t{97}, std::size_t{3000}}) {
+      batched->serve_batch(
+          std::span<const core::Request>(all.data() + i, n));
+      i += n;
+    }
+    batched->serve_batch(
+        std::span<const core::Request>(all.data() + i, all.size() - i));
+    EXPECT_EQ(scalar->costs().routing_cost, batched->costs().routing_cost)
+        << spec;
+    EXPECT_EQ(scalar->costs().direct_serves, batched->costs().direct_serves)
+        << spec;
+    EXPECT_EQ(scalar->costs().prescheduled_ops,
+              batched->costs().prescheduled_ops)
+        << spec;
+    EXPECT_EQ(scalar->matching().size(), batched->matching().size()) << spec;
+  }
+}
+
+TEST(BatchServe, OfflineDynamicWindowBoundariesStraddleBatchBoundaries) {
+  // Same shape for offline_dynamic: window lengths coprime to the serve
+  // chunking so plan switches land mid-batch and batches span epochs.
+  const net::Topology topo = net::make_fat_tree(24);
+  Xoshiro256 rng(41);
+  const trace::Trace t = trace::generate_flow_pool(24, 11'000, {}, rng);
+  for (const char* spec :
+       {"offline_dynamic:window=1", "offline_dynamic:window=113",
+        "offline_dynamic:window=4096", "offline_dynamic:window=100000"}) {
+    const core::Instance inst = make_instance(topo.distances, 4, 30);
+    const std::vector<std::uint64_t> grid = sim::checkpoint_grid(t.size(), 5);
+    auto scalar_alg = scenario::make_algorithm(spec, inst, &t, 5);
+    const sim::RunResult scalar =
+        sim::run_simulation_scalar(*scalar_alg, t, grid);
+    auto batched_alg = scenario::make_algorithm(spec, inst, &t, 5);
+    const sim::RunResult batched = sim::run_simulation(*batched_alg, t, grid);
+    expect_identical_checkpoints(scalar, batched, spec);
+  }
+}
+
 TEST(BatchServe, ResetAfterBatchedRunReplaysIdentically) {
   // reset() must restore the exact initial state after a batched run, so
   // perf_gate's repeated-measurement loop (run, reset, run) is sound.

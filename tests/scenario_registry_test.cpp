@@ -97,6 +97,45 @@ TEST(WorkloadRegistry, CsvImportWithLimit) {
   EXPECT_EQ(limited.size(), 4u);
 }
 
+TEST(WorkloadRegistry, StreamTwinsMaterializeBitIdentically) {
+  // Every streamable workload: make_stream(rng) must replay exactly the
+  // trace make() produces from the same rng state, without advancing the
+  // caller's generator.
+  const WorkloadRegistry& registry = WorkloadRegistry::instance();
+  std::size_t streamable = 0;
+  for (const std::string& name : registry.names()) {
+    if (!registry.streamable(name)) continue;
+    SCOPED_TRACE(name);
+    ++streamable;
+    Xoshiro256 rng(91);
+    const Xoshiro256 snapshot = rng;
+    auto stream = registry.make_stream({name, {}}, /*racks=*/20,
+                                       /*requests=*/3'000, rng);
+    ASSERT_NE(stream, nullptr);
+    EXPECT_EQ(stream->total(), 3'000u);
+    // The snapshot convention: the caller's rng must not have advanced.
+    EXPECT_EQ(rng.next(), Xoshiro256(snapshot).next());
+    Xoshiro256 gen_rng(91);
+    const trace::Trace expected =
+        registry.make({name, {}}, 20, 3'000, gen_rng);
+    const trace::Trace streamed = trace::materialize(*stream);
+    ASSERT_EQ(streamed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(streamed[i], expected[i]) << "request " << i;
+    }
+  }
+  // Everything but the csv import must be streamable.
+  EXPECT_EQ(streamable, registry.names().size() - 1);
+  EXPECT_FALSE(registry.streamable("csv"));
+}
+
+TEST(WorkloadRegistry, StreamlessWorkloadThrowsSpecError) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW((void)WorkloadRegistry::instance().make_stream(
+                   {"csv", {}}, 16, 100, rng),
+               SpecError);
+}
+
 TEST(Registries, UnknownNamesSuggestNearestMatch) {
   try {
     Xoshiro256 rng(1);

@@ -116,6 +116,50 @@ TEST(RunScenario, IsSeedReproducible) {
   }
 }
 
+TEST(RunScenario, StreamedReplayMatchesMaterializedLedgers) {
+  // run_scenario_streamed pulls the workload through the registry's
+  // stream twins; since those are bit-identical to their generators, every
+  // checkpoint of every run must equal the materialized entry point's.
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "topology=leaf_spine:spines=4;workload=flow_pool:pairs=60,skew=1.2;"
+      "algorithms=r_bma:engine=lru,bma,rotor;b=2,4;racks=12;requests=5000;"
+      "alpha=10;trials=2;checkpoints=5;seed=11");
+  const ScenarioResult materialized = scenario::run_scenario(spec);
+  const ScenarioResult streamed = scenario::run_scenario_streamed(spec);
+  EXPECT_EQ(streamed.workload.name(), materialized.workload.name());
+  ASSERT_EQ(streamed.runs.size(), materialized.runs.size());
+  for (std::size_t i = 0; i < materialized.runs.size(); ++i) {
+    const sim::RunResult& m = materialized.runs[i];
+    const sim::RunResult& s = streamed.runs[i];
+    EXPECT_EQ(s.algorithm, m.algorithm);
+    ASSERT_EQ(s.checkpoints.size(), m.checkpoints.size()) << m.algorithm;
+    for (std::size_t c = 0; c < m.checkpoints.size(); ++c) {
+      EXPECT_EQ(s.checkpoints[c].requests, m.checkpoints[c].requests);
+      EXPECT_EQ(s.checkpoints[c].routing_cost, m.checkpoints[c].routing_cost)
+          << m.algorithm << " cp " << c;
+      EXPECT_EQ(s.checkpoints[c].reconfig_cost,
+                m.checkpoints[c].reconfig_cost)
+          << m.algorithm << " cp " << c;
+      EXPECT_EQ(s.checkpoints[c].matching_size,
+                m.checkpoints[c].matching_size)
+          << m.algorithm << " cp " << c;
+    }
+  }
+}
+
+TEST(RunScenario, StreamedRejectsOfflineAlgorithmsAndCsv) {
+  // Offline comparators need the full trace up front; csv has no stream
+  // twin.  Both must surface as SpecError, not aborts.
+  ScenarioSpec offline = ScenarioSpec::parse(
+      "workload=uniform;algorithms=so_bma;b=2;racks=8;requests=500;"
+      "checkpoints=2;seed=3");
+  EXPECT_THROW((void)scenario::run_scenario_streamed(offline), SpecError);
+  ScenarioSpec csv = ScenarioSpec::parse(
+      "workload=csv:path=/nonexistent.csv;algorithms=bma;b=2;racks=8;"
+      "requests=500;checkpoints=2;seed=3");
+  EXPECT_THROW((void)scenario::run_scenario_streamed(csv), SpecError);
+}
+
 TEST(RunScenario, BIndependentAlgorithmsRunOncePerSweep) {
   const ScenarioSpec spec = ScenarioSpec::parse(
       "workload=uniform;algorithms=bma,oblivious;b=2,4,8;racks=8;"
