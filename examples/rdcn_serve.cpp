@@ -1,0 +1,89 @@
+// rdcn_serve — the scenario-serving daemon.
+//
+// Listens on a local (AF_UNIX) socket and executes scenario specs
+// submitted over a line protocol: clients send "RUN <spec>" and stream
+// back checkpoint progress plus the run's CSV table; equivalent specs
+// (same parameters in any order) are answered from an LRU results cache
+// without re-running.  Runs can be cancelled mid-flight and submissions
+// beyond the admission queue are rejected with a retry hint instead of
+// queueing unboundedly.
+//
+//   rdcn_serve --socket=/tmp/rdcn.sock
+//   rdcn_serve --socket=/tmp/rdcn.sock --executors=4 --cache=256
+//
+// then, from any client (rdcn_serve_client, or netcat for a quick poke):
+//
+//   printf 'RUN workload=zipf:skew=1.2;requests=20000;trials=2\n' |
+//     nc -U /tmp/rdcn.sock
+//
+// The daemon exits when a client sends SHUTDOWN (or on SIGTERM via the
+// surrounding service manager killing the process).
+#include <iostream>
+
+#include "common/flags.hpp"
+#include "serve/daemon.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+constexpr const char* kUsage =
+    "rdcn_serve — scenario-serving daemon\n"
+    "\n"
+    "flags:\n"
+    "  --socket=PATH     AF_UNIX socket to listen on (required)\n"
+    "  --queue=N         admission queue bound; beyond it submissions get\n"
+    "                    REJECT + retry hint (default 16)\n"
+    "  --executors=N     concurrent scenario runs (default 2)\n"
+    "  --cache=N         results-cache entries, 0 disables (default 64)\n"
+    "  --threads=N       worker threads per run, 0 = all cores (default 0)\n"
+    "  --retry-ms=N      retry hint sent with REJECT (default 200)\n"
+    "  --help            this text\n"
+    "\n"
+    "protocol: PING | RUN <spec> | CANCEL <id> | STATS | SHUTDOWN\n"
+    "see README.md ('Serving mode') for the full cookbook.\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  // No --socket (including the bare no-argument smoke run) is a request
+  // for the manual, not an error.
+  if (flags.has("help") || !flags.has("socket")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.unknown_flags(
+      {"socket", "queue", "executors", "cache", "threads", "retry-ms",
+       "help"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
+    std::cerr << "\n" << kUsage;
+    return 2;
+  }
+
+  try {
+    serve::ServeOptions options;
+    options.socket_path = flags.get("socket");
+    options.queue_limit = flags.get_uint("queue", 16);
+    options.executors = flags.get_uint("executors", 2);
+    options.cache_entries = flags.get_uint("cache", 64);
+    options.threads = flags.get_uint("threads", 0);
+    options.retry_hint_ms =
+        static_cast<std::uint32_t>(flags.get_uint("retry-ms", 200));
+
+    serve::Daemon daemon(options);
+    daemon.start();
+    std::cout << "rdcn_serve listening on " << options.socket_path
+              << " (executors=" << options.executors
+              << " queue=" << options.queue_limit
+              << " cache=" << options.cache_entries << ")" << std::endl;
+    daemon.wait_for_shutdown_command();
+    daemon.stop();
+    std::cout << "rdcn_serve: shutdown complete\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

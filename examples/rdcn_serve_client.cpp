@@ -1,0 +1,150 @@
+// rdcn_serve_client — command-line client for the rdcn_serve daemon.
+//
+// Submits scenario specs over the serving socket and writes the returned
+// CSV, exactly as a direct `rdcn_sim --csv=...` run would produce it.
+// With --daemon=BIN it is self-contained: it spawns the daemon itself,
+// runs the specs, asks it to SHUTDOWN, and reaps the process — this is
+// what the serve e2e smoke test drives.
+//
+//   # against an already-running daemon
+//   rdcn_serve_client --socket=/tmp/rdcn.sock --csv=out.csv
+//     --spec='workload=zipf:skew=1.2;requests=20000;trials=2'
+//
+//   # self-contained: spawn the daemon, run, shut it down
+//   rdcn_serve_client --daemon=./rdcn_serve --socket=/tmp/rdcn.sock
+//     --spec='...' --spec2='...same spec, params reordered...'
+//
+// Per submission it prints one line `run: status=... cached=... checkpoints=...`
+// — so "cached=1" on a --spec2 resubmission is directly observable.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/param_map.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace rdcn;
+
+constexpr const char* kUsage =
+    "rdcn_serve_client — submit scenario specs to a rdcn_serve daemon\n"
+    "\n"
+    "flags:\n"
+    "  --socket=PATH   daemon socket to connect to (required)\n"
+    "  --daemon=BIN    spawn BIN --socket=PATH first, SHUTDOWN + reap it\n"
+    "                  after the runs (self-contained mode)\n"
+    "  --spec=SPEC     scenario spec to run (ScenarioSpec one-line form)\n"
+    "  --spec2=SPEC    second spec submitted after the first completes —\n"
+    "                  an equivalent spec reports cached=1\n"
+    "  --csv=FILE      write the first run's CSV payload to FILE\n"
+    "  --csv2=FILE     write the second run's CSV payload to FILE\n"
+    "  --quiet         suppress CHECKPOINT progress echo\n"
+    "  --help          this text\n";
+
+/// Runs one spec to completion; returns false when the run didn't finish
+/// with status ok.
+bool run_spec(serve::Client& client, const std::string& spec,
+              const std::string& csv_path, bool quiet) {
+  const serve::Client::Submission sub = client.submit(spec);
+  if (!sub.error.empty()) {
+    std::cerr << "error: " << sub.error << "\n";
+    return false;
+  }
+  if (sub.rejected) {
+    std::cerr << "rejected: queue full, retry in " << sub.retry_ms << " ms\n";
+    return false;
+  }
+  const serve::Client::RunOutput out = client.collect(
+      sub.id, [quiet](const std::string& line) {
+        if (!quiet) std::cout << line << "\n";
+      });
+  std::cout << "run: status=" << out.status
+            << " cached=" << (out.cached ? 1 : 0)
+            << " checkpoints=" << out.checkpoints << "\n";
+  if (out.status != "ok") {
+    if (!out.error.empty()) std::cerr << "error: " << out.error << "\n";
+    return false;
+  }
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path, std::ios::binary);
+    file << out.csv;
+    if (!file) {
+      std::cerr << "error: cannot write " << csv_path << "\n";
+      return false;
+    }
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("help") || !flags.has("socket")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.unknown_flags(
+      {"socket", "daemon", "spec", "spec2", "csv", "csv2", "quiet", "help"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
+    std::cerr << "\n" << kUsage;
+    return 2;
+  }
+
+  const std::string socket_path = flags.get("socket");
+  pid_t daemon_pid = -1;
+  if (flags.has("daemon")) {
+    const std::string daemon_bin = flags.get("daemon");
+    const std::string socket_arg = "--socket=" + socket_path;
+    daemon_pid = ::fork();
+    if (daemon_pid < 0) {
+      std::cerr << "error: fork failed: " << std::strerror(errno) << "\n";
+      return 2;
+    }
+    if (daemon_pid == 0) {
+      ::execl(daemon_bin.c_str(), daemon_bin.c_str(), socket_arg.c_str(),
+              static_cast<char*>(nullptr));
+      std::cerr << "error: cannot exec " << daemon_bin << ": "
+                << std::strerror(errno) << "\n";
+      ::_exit(127);
+    }
+  }
+
+  int exit_code = 0;
+  try {
+    serve::Client client;
+    client.connect(socket_path);  // retries while a spawned daemon binds
+    client.ping();
+
+    const bool quiet = flags.get_bool("quiet", false);
+    if (flags.has("spec") &&
+        !run_spec(client, flags.get("spec"), flags.get("csv", ""), quiet))
+      exit_code = 1;
+    if (exit_code == 0 && flags.has("spec2") &&
+        !run_spec(client, flags.get("spec2"), flags.get("csv2", ""), quiet))
+      exit_code = 1;
+
+    if (daemon_pid > 0) client.shutdown_daemon();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    exit_code = 2;
+  }
+
+  if (daemon_pid > 0) {
+    int status = 0;
+    ::waitpid(daemon_pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "error: daemon exited abnormally\n";
+      if (exit_code == 0) exit_code = 2;
+    }
+  }
+  return exit_code;
+}

@@ -1,7 +1,13 @@
 #include "common/param_map.hpp"
 
+#include <algorithm>
 #include <charconv>
-#include <cstdlib>
+#include <cmath>
+
+#if !defined(__cpp_lib_to_chars)
+#include <locale>
+#include <sstream>
+#endif
 
 namespace rdcn {
 
@@ -69,11 +75,33 @@ std::int64_t ParamMap::parse_int(const std::string& key,
 
 double ParamMap::parse_double(const std::string& key,
                               const std::string& value) {
+  // std::strtod honors the global C locale — a host running under de_DE
+  // rejects "0.5" — and accepts forms the from_chars-parsed integers don't
+  // mirror (hex floats, "inf", "nan").  Parse locale-free instead:
+  // decimal/scientific forms only, full consumption, finite results.
   if (value.empty()) conversion_error(key, value, "a number");
-  char* end = nullptr;
-  const double out = std::strtod(value.c_str(), &end);
-  if (end != value.c_str() + value.size())
-    conversion_error(key, value, "a number");
+  double out = 0.0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+#if defined(__cpp_lib_to_chars)
+  const auto [ptr, ec] =
+      std::from_chars(begin, end, out, std::chars_format::general);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(out))
+    conversion_error(key, value, "a finite number");
+#else
+  // Fallback for standard libraries without floating-point from_chars:
+  // restrict the alphabet to the decimal forms from_chars would accept
+  // (this rejects hex floats, inf, nan, and locale decimal commas), then
+  // parse with a stream pinned to the classic "C" locale.
+  if (value.find_first_not_of("0123456789.eE+-") != std::string::npos ||
+      value[0] == '+' || value == "-")
+    conversion_error(key, value, "a finite number");
+  std::istringstream in(value);
+  in.imbue(std::locale::classic());
+  in >> out;
+  if (in.fail() || !in.eof() || !std::isfinite(out))
+    conversion_error(key, value, "a finite number");
+#endif
   return out;
 }
 
@@ -103,22 +131,37 @@ ParamMap ParamMap::parse(const std::string& text) {
                       "'");
     out.entries_.push_back({std::move(key), std::move(value), false});
   }
-  // contains() marked keys consumed during duplicate detection; a freshly
-  // parsed map must start untouched.
-  out.reset_consumption();
   return out;
 }
 
+namespace {
+
+void append_entry(std::string& out, const std::string& key,
+                  const std::string& value) {
+  if (!out.empty()) out += ',';
+  out += key;
+  if (value != "true") {
+    out += '=';
+    out += value;
+  }
+}
+
+}  // namespace
+
 std::string ParamMap::to_string() const {
   std::string out;
-  for (const Entry& e : entries_) {
-    if (!out.empty()) out += ',';
-    out += e.key;
-    if (e.value != "true") {
-      out += '=';
-      out += e.value;
-    }
-  }
+  for (const Entry& e : entries_) append_entry(out, e.key, e.value);
+  return out;
+}
+
+std::string ParamMap::canonical_string() const {
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->key < b->key; });
+  std::string out;
+  for (const Entry* e : sorted) append_entry(out, e->key, e->value);
   return out;
 }
 
@@ -133,7 +176,12 @@ void ParamMap::set(const std::string& key, const std::string& value) {
 }
 
 bool ParamMap::contains(const std::string& key) const noexcept {
-  return find(key) != nullptr;
+  // Deliberately NOT routed through find(): contains() is a pure probe and
+  // must not mark the entry consumed, or a key checked only via contains()
+  // would silently escape require_all_consumed's unknown-key detection.
+  for (const Entry& e : entries_)
+    if (e.key == key) return true;
+  return false;
 }
 
 std::vector<std::string> ParamMap::keys() const {
@@ -184,6 +232,11 @@ Spec Spec::parse(const std::string& text) {
 
 std::string Spec::to_string() const {
   const std::string p = params.to_string();
+  return p.empty() ? name : name + ":" + p;
+}
+
+std::string Spec::canonical_string() const {
+  const std::string p = params.canonical_string();
   return p.empty() ? name : name + ":" + p;
 }
 

@@ -52,9 +52,17 @@ class ParamMap {
   /// round-trips to an equivalent map.
   std::string to_string() const;
 
+  /// Like to_string() but with entries sorted by key — the *canonical*
+  /// form: two maps equal up to insertion order print identically, so
+  /// equivalent specs hash/compare equal.  Cache keys and dedup logic use
+  /// this; to_string() stays faithful to the user's input order.
+  std::string canonical_string() const;
+
   /// Programmatic insertion (overwrites an existing key in place).
   void set(const std::string& key, const std::string& value);
 
+  /// Pure membership probe.  Does NOT mark the entry consumed: a key only
+  /// ever probed via contains() still shows up in unconsumed_keys().
   bool contains(const std::string& key) const noexcept;
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t size() const noexcept { return entries_.size(); }
@@ -92,9 +100,10 @@ class ParamMap {
     return find(key) == nullptr ? fallback : get<T>(key);
   }
 
-  /// Keys never touched by any getter/contains() call — i.e. keys the
-  /// consumer does not understand.  Registries call this after building a
-  /// component to reject typos (see require_all_consumed).
+  /// Keys never read by any getter — i.e. keys the consumer does not
+  /// understand (contains() probes don't count as reads).  Registries call
+  /// this after building a component to reject typos (see
+  /// require_all_consumed).
   std::vector<std::string> unconsumed_keys() const;
 
   /// Raises SpecError naming every unconsumed key; `context` names the
@@ -154,6 +163,10 @@ struct Spec {
 
   static Spec parse(const std::string& text);
   std::string to_string() const;
+
+  /// to_string() with params in canonical (sorted) order; see
+  /// ParamMap::canonical_string.
+  std::string canonical_string() const;
 
   friend bool operator==(const Spec& a, const Spec& b) {
     return a.name == b.name && a.params == b.params;

@@ -94,16 +94,22 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
   return spec;
 }
 
-std::string ScenarioSpec::to_string() const {
-  const ScenarioSpec r = resolved();
+namespace {
+
+/// Shared body of to_string/canonical_string.  `canonical` switches the
+/// component specs to sorted-param printing and drops execution-only
+/// fields, making equal experiments print equal.
+std::string spec_to_string(const ScenarioSpec& r, bool canonical) {
   std::string algorithms;
   for (const Spec& a : r.algorithms) {
     if (!algorithms.empty()) algorithms += ',';
-    algorithms += a.to_string();
+    algorithms += canonical ? a.canonical_string() : a.to_string();
   }
   std::string out;
-  out += "topology=" + r.topology.to_string();
-  out += ";workload=" + r.workload.to_string();
+  out += "topology=" +
+         (canonical ? r.topology.canonical_string() : r.topology.to_string());
+  out += ";workload=" +
+         (canonical ? r.workload.canonical_string() : r.workload.to_string());
   out += ";algorithms=" + algorithms;
   out += ";b=" + size_list_to_string(r.cache_sizes);
   out += ";racks=" + std::to_string(r.racks);
@@ -113,12 +119,24 @@ std::string ScenarioSpec::to_string() const {
   out += ";trials=" + std::to_string(r.trials);
   out += ";checkpoints=" + std::to_string(r.checkpoints);
   out += ";seed=" + std::to_string(r.seed);
-  // threads is an execution detail, not part of the experiment's identity;
-  // the default (0 = hardware concurrency) is omitted so canonical forms
-  // stay machine-independent, but a pinned count must survive the
+  // threads is an execution detail, not part of the experiment's identity:
+  // canonical forms drop it entirely (two submissions differing only in
+  // thread count are the same experiment), and to_string omits only the
+  // default (0 = hardware concurrency) so a pinned count survives the
   // parse/to_string round-trip.
-  if (r.threads != 0) out += ";threads=" + std::to_string(r.threads);
+  if (!canonical && r.threads != 0)
+    out += ";threads=" + std::to_string(r.threads);
   return out;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::to_string() const {
+  return spec_to_string(resolved(), /*canonical=*/false);
+}
+
+std::string ScenarioSpec::canonical_string() const {
+  return spec_to_string(resolved(), /*canonical=*/true);
 }
 
 ScenarioSpec ScenarioSpec::resolved() const {
@@ -157,7 +175,8 @@ void check_workload_fits(const ScenarioSpec& spec, std::size_t workload_racks,
 }
 
 sim::ExperimentConfig make_experiment_config(const ScenarioSpec& spec,
-                                             const ScenarioResult& result) {
+                                             const ScenarioResult& result,
+                                             const RunHooks& hooks) {
   sim::ExperimentConfig config;
   config.distances = &result.topology.distances;
   config.alpha = spec.alpha;
@@ -166,6 +185,14 @@ sim::ExperimentConfig make_experiment_config(const ScenarioSpec& spec,
   config.trials = spec.trials;
   config.base_seed = spec.seed;
   config.threads = spec.threads;
+  config.cancel = hooks.cancel;
+  if (hooks.on_checkpoint) {
+    config.on_checkpoint = [on_checkpoint = hooks.on_checkpoint](
+                               const sim::ExperimentSpec& experiment,
+                               std::uint64_t seed, const sim::Checkpoint& c) {
+      on_checkpoint(experiment.display(), seed, c);
+    };
+  }
   return config;
 }
 
@@ -191,7 +218,12 @@ std::vector<sim::ExperimentSpec> make_experiment_specs(
 
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, RunHooks{});
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& raw_spec,
+                            const RunHooks& hooks) {
   const ScenarioSpec spec = raw_spec.resolved();
 
   // One RNG stream seeds topology construction, then workload generation —
@@ -204,13 +236,18 @@ ScenarioResult run_scenario(const ScenarioSpec& raw_spec) {
       spec.workload, workload_racks, spec.requests, rng);
   check_workload_fits(spec, result.workload.num_racks(), result);
 
-  result.runs = sim::run_experiment(make_experiment_config(spec, result),
-                                    result.workload,
-                                    make_experiment_specs(spec));
+  result.runs =
+      sim::run_experiment(make_experiment_config(spec, result, hooks),
+                          result.workload, make_experiment_specs(spec));
   return result;
 }
 
-ScenarioResult run_scenario_streamed(const ScenarioSpec& raw_spec) {
+ScenarioResult run_scenario_streamed(const ScenarioSpec& spec) {
+  return run_scenario_streamed(spec, RunHooks{});
+}
+
+ScenarioResult run_scenario_streamed(const ScenarioSpec& raw_spec,
+                                     const RunHooks& hooks) {
   const ScenarioSpec spec = raw_spec.resolved();
 
   Xoshiro256 rng(spec.seed);
@@ -236,8 +273,9 @@ ScenarioResult run_scenario_streamed(const ScenarioSpec& raw_spec) {
     return workloads.make_stream(workload, workload_racks, requests,
                                  workload_rng);
   };
-  result.runs = sim::run_experiment(make_experiment_config(spec, result),
-                                    factory, make_experiment_specs(spec));
+  result.runs =
+      sim::run_experiment(make_experiment_config(spec, result, hooks),
+                          factory, make_experiment_specs(spec));
   return result;
 }
 

@@ -45,8 +45,18 @@ struct ScenarioSpec {
   /// keys raise SpecError.
   static ScenarioSpec parse(const std::string& text);
 
-  /// Canonical one-line form; parse(to_string()) round-trips.
+  /// One-line form faithful to the spec as given (resolved defaults,
+  /// component params in insertion order); parse(to_string()) round-trips.
   std::string to_string() const;
+
+  /// The *canonical* form: like to_string(), but every component's params
+  /// print in sorted order and execution-only fields (threads) are
+  /// dropped, so any two specs describing the same experiment — params
+  /// given in any order — produce the same string.  This is the identity
+  /// the serving daemon's results cache keys on.  Field order, algorithm
+  /// list order, and the b list stay as given (they determine result
+  /// column order, hence are part of the experiment's identity).
+  std::string canonical_string() const;
 
   /// Defaults applied (algorithms/cache_sizes filled when empty).
   ScenarioSpec resolved() const;
@@ -61,9 +71,24 @@ struct ScenarioResult {
   std::vector<sim::RunResult> runs;
 };
 
+/// Live-run hooks for the serving layer, mapped onto
+/// sim::ExperimentConfig's cancellation/progress fields.  Default = none.
+struct RunHooks {
+  /// Fires cooperatively: running trials stop at their next serve-chunk
+  /// boundary and run_scenario throws CancelledError.
+  CancelToken cancel{};
+  /// Called after every checkpoint of every (algorithm × b, trial) run
+  /// with the run's display label — possibly from several pool workers at
+  /// once (must be thread-safe).
+  std::function<void(const std::string& label, std::uint64_t seed,
+                     const sim::Checkpoint& checkpoint)>
+      on_checkpoint{};
+};
+
 /// Builds topology and workload from the registries (seed-threaded), then
 /// runs every algorithm × b through sim::run_experiment.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunHooks& hooks);
 
 /// Streaming variant: the workload is replayed through
 /// WorkloadRegistry::make_stream at constant memory (one serve chunk per
@@ -74,6 +99,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 /// (csv) raise SpecError.  The result's `workload` member is an empty
 /// placeholder Trace carrying only the stream's name and rack universe.
 ScenarioResult run_scenario_streamed(const ScenarioSpec& spec);
+ScenarioResult run_scenario_streamed(const ScenarioSpec& spec,
+                                     const RunHooks& hooks);
 
 /// The §3.1 matrix: `base` crossed with every topology × workload
 /// combination, in row-major (topology-outer) order.  Empty lists reuse the

@@ -1,0 +1,213 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/param_map.hpp"
+#include "serve/protocol.hpp"
+
+namespace rdcn::serve {
+
+namespace {
+
+/// Generous per-read timeout: a healthy run emits a CHECKPOINT at least
+/// every requests/checkpoints chunk, so minutes of silence means the
+/// daemon died — better a clear error than a hung client.
+constexpr long kReadTimeoutSeconds = 600;
+
+int connect_once(const sockaddr_un& addr) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval tv{};
+  tv.tv_sec = kReadTimeoutSeconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Client::connect(const std::string& socket_path, int timeout_ms) {
+  disconnect();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+    throw SpecError("socket path '" + socket_path +
+                    "' is empty or too long for AF_UNIX");
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    fd_ = connect_once(addr);
+    if (fd_ >= 0) return;
+    // ENOENT/ECONNREFUSED while the daemon is still starting up.
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw SpecError("cannot connect to '" + socket_path +
+                      "': " + std::strerror(errno));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void Client::send_line(const std::string& line) {
+  if (fd_ < 0) throw SpecError("client is not connected");
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw SpecError(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_line() {
+  if (fd_ < 0) throw SpecError("client is not connected");
+  while (true) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) throw SpecError("daemon closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw SpecError("timed out waiting for the daemon");
+      throw SpecError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::ping() {
+  send_line("PING");
+  const std::string reply = read_line();
+  if (parse_server_line(reply).kind != ServerLine::Kind::kPong)
+    throw SpecError("unexpected PING reply: " + reply);
+}
+
+Client::Submission Client::submit(const std::string& spec) {
+  send_line("RUN " + spec);
+  Submission out;
+  const ServerLine reply = parse_server_line(read_line());
+  switch (reply.kind) {
+    case ServerLine::Kind::kAccepted:
+      out.accepted = true;
+      out.id = reply.id;
+      break;
+    case ServerLine::Kind::kReject:
+      out.rejected = true;
+      out.retry_ms = reply.retry_ms;
+      break;
+    case ServerLine::Kind::kError:
+      out.error = reply.text;
+      break;
+    default:
+      throw SpecError("unexpected RUN reply: " + reply.text);
+  }
+  return out;
+}
+
+Client::RunOutput Client::collect(
+    std::uint64_t id,
+    const std::function<void(const std::string& line)>& on_checkpoint) {
+  RunOutput out;
+  while (true) {
+    const std::string raw = read_line();
+    const ServerLine line = parse_server_line(raw);
+    switch (line.kind) {
+      case ServerLine::Kind::kCheckpoint:
+        if (line.id != id) continue;  // another run on this connection
+        ++out.checkpoints;
+        if (on_checkpoint) on_checkpoint(raw);
+        continue;
+      case ServerLine::Kind::kResult: {
+        if (line.id != id) continue;
+        out.cached = line.cached;
+        out.csv.clear();
+        for (std::size_t i = 0; i < line.lines; ++i)
+          out.csv += read_line() + "\n";
+        continue;
+      }
+      case ServerLine::Kind::kError:
+        out.error = line.text;  // precedes DONE status=error
+        continue;
+      case ServerLine::Kind::kDone:
+        if (line.id != id) continue;
+        out.status = line.status;
+        return out;
+      case ServerLine::Kind::kCancelling:
+        continue;  // ack for a CANCEL sent while collecting
+      default:
+        throw SpecError("unexpected line while collecting run " +
+                        std::to_string(id) + ": " + raw);
+    }
+  }
+}
+
+bool Client::cancel(std::uint64_t id) {
+  // While a run is streaming, prefer send_line("CANCEL <id>") and let
+  // collect() skip the CANCELLING ack — this helper reads its own reply,
+  // so interleaved run output would be consumed here.  It drops stray
+  // CHECKPOINTs (harmless progress) but treats anything else as "the run
+  // already finished".
+  send_line("CANCEL " + std::to_string(id));
+  while (true) {
+    const ServerLine line = parse_server_line(read_line());
+    if (line.kind == ServerLine::Kind::kCancelling) return true;
+    if (line.kind == ServerLine::Kind::kCheckpoint) continue;
+    return false;
+  }
+}
+
+std::string Client::stats() {
+  send_line("STATS");
+  while (true) {
+    const ServerLine line = parse_server_line(read_line());
+    if (line.kind == ServerLine::Kind::kStats) return line.text;
+    if (line.kind == ServerLine::Kind::kCheckpoint) continue;
+    throw SpecError("unexpected STATS reply");
+  }
+}
+
+void Client::shutdown_daemon() {
+  send_line("SHUTDOWN");
+  while (true) {
+    const ServerLine line = parse_server_line(read_line());
+    if (line.kind == ServerLine::Kind::kBye) return;
+    if (line.kind == ServerLine::Kind::kCheckpoint ||
+        line.kind == ServerLine::Kind::kDone)
+      continue;  // in-flight run lines racing the shutdown
+    throw SpecError("unexpected SHUTDOWN reply");
+  }
+}
+
+}  // namespace rdcn::serve

@@ -1,0 +1,83 @@
+// rdcn: blocking line-protocol client for the rdcn_serve daemon.
+//
+// Thin and synchronous by design — one connection, one in-flight run at a
+// time: submit() sends RUN and reads the admission verdict; collect()
+// then consumes that run's CHECKPOINT stream, RESULT payload, and DONE
+// line.  Used by the rdcn_serve_client binary, the e2e smoke check, and
+// the serve test suite; also a readable reference for writing clients in
+// other languages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rdcn::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  ///< closes the connection
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the daemon's AF_UNIX socket, retrying (the daemon may
+  /// still be binding) until `timeout_ms` elapses.  Throws SpecError on
+  /// failure.
+  void connect(const std::string& socket_path, int timeout_ms = 10'000);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void disconnect();
+
+  /// PING/PONG round-trip; throws SpecError on anything else.
+  void ping();
+
+  /// Admission verdict for one RUN submission.  Exactly one of
+  /// accepted/rejected is set unless the spec was refused (error text).
+  struct Submission {
+    std::uint64_t id = 0;
+    bool accepted = false;
+    bool rejected = false;        ///< backpressure: queue full
+    std::uint32_t retry_ms = 0;   ///< suggested resubmit delay when rejected
+    std::string error;            ///< non-empty when the spec was refused
+  };
+  Submission submit(const std::string& spec);
+
+  /// Everything after admission, up to the run's DONE line.
+  struct RunOutput {
+    std::string status;        ///< "ok" | "cancelled" | "error"
+    bool cached = false;       ///< payload replayed from the results cache
+    std::string csv;           ///< CSV payload (empty unless status "ok")
+    std::size_t checkpoints = 0;  ///< progress lines seen
+    std::string error;         ///< ERROR text when status "error"
+  };
+  /// Reads run `id` to completion.  `on_checkpoint` (optional) sees each
+  /// raw CHECKPOINT line as it streams in.
+  RunOutput collect(std::uint64_t id,
+                    const std::function<void(const std::string& line)>&
+                        on_checkpoint = {});
+
+  /// Requests cancellation of a queued or running run.  Returns true when
+  /// the daemon acknowledged (CANCELLING); false when the id was unknown.
+  /// The run itself still terminates through collect() with status
+  /// "cancelled" — cancellation is cooperative, not instant.
+  bool cancel(std::uint64_t id);
+
+  /// The daemon's one-line STATS report, verbatim.
+  std::string stats();
+
+  /// Sends SHUTDOWN and waits for BYE.  The daemon finishes tearing down
+  /// after the socket closes.
+  void shutdown_daemon();
+
+  // Low-level access (used by tests to speak the protocol directly).
+  void send_line(const std::string& line);
+  std::string read_line();  ///< throws SpecError on EOF/timeout
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received beyond the last full line
+};
+
+}  // namespace rdcn::serve

@@ -1,0 +1,379 @@
+#include "serve/daemon.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/cancel.hpp"
+#include "common/param_map.hpp"
+#include "scenario/scenario.hpp"
+#include "serve/protocol.hpp"
+#include "sim/report.hpp"
+
+namespace rdcn::serve {
+
+namespace {
+
+/// Builds the sockaddr for `path`; throws SpecError when it doesn't fit
+/// sun_path (a hard AF_UNIX limit, typically 108 bytes).
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw SpecError("socket path '" + path + "' is empty or longer than " +
+                    std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// Spec problems the registries can't see but that would trip asserts
+/// deeper down (checkpoint_grid needs requests >= checkpoints >= 1).
+void check_run_shape(const scenario::ScenarioSpec& spec) {
+  if (spec.racks < 2) throw SpecError("racks must be at least 2");
+  if (spec.requests == 0) throw SpecError("requests must be positive");
+  if (spec.checkpoints == 0) throw SpecError("checkpoints must be positive");
+  if (spec.requests < spec.checkpoints)
+    throw SpecError("requests (" + std::to_string(spec.requests) +
+                    ") must be >= checkpoints (" +
+                    std::to_string(spec.checkpoints) + ")");
+}
+
+}  // namespace
+
+/// One client socket.  The reader thread owns recv; any thread may write
+/// (executor progress lines interleave with command replies), serialized
+/// by write_mu so lines never shear.  A failed send marks the connection
+/// broken — future sends become no-ops and in-flight runs for this client
+/// get cancelled at their next checkpoint.
+struct Daemon::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  /// One atomic write unit: concurrent writers (command replies, other
+  /// runs' progress lines) can't interleave inside it.
+  void send_raw(const std::string& bytes) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (broken.load(std::memory_order_relaxed)) return;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        broken.store(true, std::memory_order_relaxed);
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Wakes a reader blocked in recv (used by stop()).
+  void shutdown_socket() { ::shutdown(fd, SHUT_RDWR); }
+
+  const int fd;
+  std::mutex write_mu;
+  std::atomic<bool> broken{false};
+};
+
+/// An admitted run: travels from queue_ to an executor; active_ keeps it
+/// addressable by id for CANCEL until its DONE line is out.
+struct Daemon::RunTask {
+  std::uint64_t id = 0;
+  scenario::ScenarioSpec spec;
+  std::string canonical;
+  CancelToken cancel = CancelToken::make();
+  std::shared_ptr<Connection> conn;
+};
+
+Daemon::Daemon(ServeOptions options)
+    : options_(std::move(options)), cache_(options_.cache_entries) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  const sockaddr_un addr = make_address(options_.socket_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw SpecError(std::string("socket() failed: ") + std::strerror(errno));
+  ::unlink(options_.socket_path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw SpecError("cannot listen on '" + options_.socket_path +
+                    "': " + why);
+  }
+  started_ = true;
+  accept_thread_ = std::thread(&Daemon::accept_loop, this);
+  for (std::size_t i = 0; i < options_.executors; ++i)
+    executors_.emplace_back(&Daemon::executor_loop, this);
+}
+
+void Daemon::stop() {
+  if (!started_ || stopping_.exchange(true)) {
+    stopping_ = true;
+    cv_shutdown_.notify_all();
+    return;
+  }
+  // Unblock accept(), then every blocked reader and executor; cancel all
+  // queued/running work so executors drain fast.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, task] : active_) task->cancel.request_cancel();
+    conns = conns_;
+  }
+  for (auto& conn : conns) conn->shutdown_socket();
+  cv_exec_.notify_all();
+  accept_thread_.join();
+  // accept_loop has exited, so conn_threads_ is final now.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : conns_) conn->shutdown_socket();
+  }
+  for (std::thread& t : conn_threads_) t.join();
+  for (std::thread& t : executors_) t.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  cv_shutdown_.notify_all();
+}
+
+void Daemon::wait_for_shutdown_command() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_shutdown_.wait(lock, [&] { return shutdown_requested_ || stopping_; });
+}
+
+void Daemon::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_ || errno != EINTR) return;
+      continue;
+    }
+    // Bounded recv timeout so readers notice stopping_ even if their
+    // socket shutdown races with thread startup.
+    timeval tv{};
+    tv.tv_usec = 200 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    auto conn = std::make_shared<Connection>(fd);
+    const std::lock_guard<std::mutex> lock(mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(&Daemon::connection_loop, this, conn);
+  }
+}
+
+void Daemon::connection_loop(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (open && (pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) open = handle_command(conn, line);
+    }
+  }
+  conn->broken.store(true, std::memory_order_relaxed);
+  conn->shutdown_socket();
+  // Nobody is left to receive this client's results; release its slots.
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, task] : active_)
+    if (task->conn == conn) task->cancel.request_cancel();
+}
+
+bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
+                            const std::string& line) {
+  const Command cmd = parse_command(line);
+  switch (cmd.kind) {
+    case Command::Kind::kPing:
+      conn->send_line(msg_pong());
+      return true;
+    case Command::Kind::kRun:
+      handle_run(conn, cmd.spec);
+      return true;
+    case Command::Kind::kCancel: {
+      CancelToken token;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto it = active_.find(cmd.id);
+        if (it != active_.end()) token = it->second->cancel;
+      }
+      if (!token.cancellable()) {
+        conn->send_line(msg_error("no queued or running run with id " +
+                                  std::to_string(cmd.id)));
+      } else {
+        token.request_cancel();
+        conn->send_line(msg_cancelling(cmd.id));
+      }
+      return true;
+    }
+    case Command::Kind::kStats: {
+      std::size_t running, queued;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        running = running_;
+        queued = queue_.size();
+      }
+      const ResultsCache::Stats stats = cache_.stats();
+      conn->send_line(msg_stats(running, queued, stats.hits, stats.misses,
+                                stats.entries));
+      return true;
+    }
+    case Command::Kind::kShutdown: {
+      conn->send_line(msg_bye());
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        shutdown_requested_ = true;
+      }
+      cv_shutdown_.notify_all();
+      return false;
+    }
+    case Command::Kind::kInvalid:
+      conn->send_line(msg_error(cmd.error));
+      return true;
+  }
+  return true;
+}
+
+void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
+                        const std::string& spec_text) {
+  scenario::ScenarioSpec spec;
+  std::string canonical;
+  try {
+    spec = scenario::ScenarioSpec::parse(spec_text);
+    const scenario::ScenarioSpec resolved = spec.resolved();
+    scenario::TopologyRegistry::instance().validate(resolved.topology);
+    scenario::WorkloadRegistry::instance().validate(resolved.workload);
+    for (const Spec& algorithm : resolved.algorithms)
+      scenario::AlgorithmRegistry::instance().validate(algorithm);
+    check_run_shape(resolved);
+    spec.threads = options_.threads;  // execution detail, daemon's choice
+    canonical = spec.canonical_string();
+  } catch (const std::exception& e) {
+    conn->send_line(msg_error(e.what()));
+    return;
+  }
+
+  std::uint64_t id;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
+
+  // A cache hit bypasses admission entirely — replaying stored bytes is
+  // cheap, so cached runs are never rejected for backpressure.
+  if (std::optional<std::string> payload = cache_.get(canonical)) {
+    conn->send_line(msg_accepted(id));
+    send_payload(*conn, id, /*cached=*/true, *payload);
+    conn->send_line(msg_done(id, "ok"));
+    return;
+  }
+
+  auto task = std::make_shared<RunTask>();
+  task->id = id;
+  task->spec = std::move(spec);
+  task->canonical = std::move(canonical);
+  task->conn = conn;
+  {
+    // ACCEPTED goes out under mu_ so no executor can emit this run's
+    // CHECKPOINT lines first (they'd need the queue entry, which doesn't
+    // exist yet).  The write is a few bytes to a local socket.
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= options_.queue_limit) {
+      conn->send_line(msg_reject(options_.retry_hint_ms));
+      return;
+    }
+    conn->send_line(msg_accepted(id));
+    queue_.push_back(task);
+    active_.emplace(id, std::move(task));
+  }
+  cv_exec_.notify_one();
+}
+
+void Daemon::executor_loop() {
+  while (true) {
+    std::shared_ptr<RunTask> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_exec_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    execute(task);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      active_.erase(task->id);
+    }
+  }
+}
+
+void Daemon::execute(const std::shared_ptr<RunTask>& task) {
+  if (task->cancel.cancelled()) {  // cancelled while still queued
+    task->conn->send_line(msg_done(task->id, "cancelled"));
+    return;
+  }
+  scenario::RunHooks hooks;
+  hooks.cancel = task->cancel;
+  hooks.on_checkpoint = [task](const std::string& label, std::uint64_t seed,
+                               const sim::Checkpoint& checkpoint) {
+    if (task->conn->broken.load(std::memory_order_relaxed)) {
+      task->cancel.request_cancel();  // client is gone — stop burning CPU
+      return;
+    }
+    task->conn->send_line(msg_checkpoint(task->id, label, seed, checkpoint));
+  };
+  try {
+    const scenario::ScenarioResult result =
+        scenario::run_scenario(task->spec, hooks);
+    std::ostringstream csv;
+    sim::write_csv(csv, result.runs, sim::Metric::kRoutingCost);
+    const std::string payload = csv.str();
+    cache_.put(task->canonical, payload);
+    send_payload(*task->conn, task->id, /*cached=*/false, payload);
+    task->conn->send_line(msg_done(task->id, "ok"));
+  } catch (const CancelledError&) {
+    task->conn->send_line(msg_done(task->id, "cancelled"));
+  } catch (const std::exception& e) {
+    task->conn->send_line(msg_error(e.what()));
+    task->conn->send_line(msg_done(task->id, "error"));
+  }
+}
+
+void Daemon::send_payload(Connection& conn, std::uint64_t id, bool cached,
+                          const std::string& payload) {
+  std::size_t lines = 0;
+  for (const char c : payload)
+    if (c == '\n') ++lines;
+  // Header and payload travel as one write unit so no other run's lines
+  // can land between them; the payload is already newline-framed CSV and
+  // ships verbatim, bit-identical to a direct rdcn_sim --csv run.
+  conn.send_raw(msg_result(id, cached, lines) + "\n" + payload);
+}
+
+}  // namespace rdcn::serve

@@ -1,0 +1,125 @@
+// rdcn: rdcn_serve — the long-running scenario-serving daemon.
+//
+// Turns the spec-driven scenario layer into a service: clients connect to
+// a local (AF_UNIX) stream socket, submit ScenarioSpec strings with one
+// RUN line, and get back streamed CHECKPOINT progress plus the run's CSV
+// table — the same bytes a direct rdcn_sim --csv run produces.  See
+// serve/protocol.hpp for the wire format.
+//
+// Execution model:
+//   * every connection gets a reader thread (commands are line-framed and
+//     cheap to parse; replies may interleave across runs, attributed by id);
+//   * admitted runs wait in a bounded FIFO; submissions beyond the bound
+//     are rejected with a retry hint (backpressure) instead of queueing
+//     unboundedly;
+//   * a small executor-thread set drains the queue, each run executing
+//     scenario::run_scenario on the process-wide persistent ThreadPool
+//     (trial parallelism) with a CancelToken threaded down to the
+//     simulator's serve-chunk loop — CANCEL stops a run within one
+//     4096-request chunk and frees its executor and pool slots;
+//   * completed CSV payloads land in an LRU ResultsCache keyed on
+//     ScenarioSpec::canonical_string(), so an equivalent spec (params in
+//     any order) is served from cache without re-running.
+//
+// Invalid specs — parse failures, unknown components, bad parameters —
+// report as ERROR lines (SpecError text with registry suggestions); the
+// daemon never dies on client input.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/results_cache.hpp"
+
+namespace rdcn::serve {
+
+struct ServeOptions {
+  /// Filesystem path of the AF_UNIX listening socket (required).  An
+  /// existing stale socket file is replaced.
+  std::string socket_path;
+  /// Maximum runs waiting for an executor; submissions past this get a
+  /// REJECT with a retry hint.  Running runs don't count.
+  std::size_t queue_limit = 16;
+  /// Concurrent scenario runs.  0 is a test hook: runs are admitted and
+  /// queued but never executed.
+  std::size_t executors = 2;
+  /// ResultsCache capacity in entries (0 disables caching).
+  std::size_t cache_entries = 64;
+  /// Worker threads per run's trial parallelism (0 = all cores).
+  std::size_t threads = 0;
+  /// Hint returned with REJECT responses.
+  std::uint32_t retry_hint_ms = 200;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(ServeOptions options);
+  ~Daemon();  ///< calls stop()
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and spawns the accept + executor threads.  Throws
+  /// SpecError when the socket cannot be created/bound.
+  void start();
+
+  /// Stops accepting, cancels every queued/running run, joins all
+  /// threads, and removes the socket file.  Idempotent.  Must not be
+  /// called from a daemon thread (a SHUTDOWN command instead *requests*
+  /// shutdown; the owner observes it via wait_for_shutdown_command).
+  void stop();
+
+  /// Blocks until a client sent SHUTDOWN (or stop() was called).
+  void wait_for_shutdown_command();
+
+  const ServeOptions& options() const noexcept { return options_; }
+  ResultsCache::Stats cache_stats() const { return cache_.stats(); }
+
+ private:
+  struct Connection;
+  struct RunTask;
+
+  void accept_loop();
+  void connection_loop(const std::shared_ptr<Connection>& conn);
+  /// Returns false when the connection should close (SHUTDOWN).
+  bool handle_command(const std::shared_ptr<Connection>& conn,
+                      const std::string& line);
+  void handle_run(const std::shared_ptr<Connection>& conn,
+                  const std::string& spec_text);
+  void executor_loop();
+  void execute(const std::shared_ptr<RunTask>& task);
+  void send_payload(Connection& conn, std::uint64_t id, bool cached,
+                    const std::string& payload);
+
+  ServeOptions options_;
+  ResultsCache cache_;
+  int listen_fd_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_exec_;      ///< executors wait for work
+  std::condition_variable cv_shutdown_;  ///< owner waits for SHUTDOWN
+  std::deque<std::shared_ptr<RunTask>> queue_;
+  /// Queued + running tasks by id (CANCEL looks up here); erased when the
+  /// run reaches its DONE line.
+  std::unordered_map<std::uint64_t, std::shared_ptr<RunTask>> active_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+  std::uint64_t next_id_ = 1;
+  std::size_t running_ = 0;
+  bool started_ = false;
+  bool shutdown_requested_ = false;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace rdcn::serve

@@ -1,0 +1,188 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+
+namespace rdcn::serve {
+
+namespace {
+
+/// Strict u64 parse mirroring ParamMap::parse_uint: full consumption, no
+/// signs, no trailing garbage.
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// Splits "VERB rest" at the first space; rest is "" when absent.
+void split_verb(const std::string& line, std::string& verb,
+                std::string& rest) {
+  const std::size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    verb = line;
+    rest.clear();
+    return;
+  }
+  verb = line.substr(0, space);
+  std::size_t begin = space;
+  while (begin < line.size() && line[begin] == ' ') ++begin;
+  rest = line.substr(begin);
+}
+
+/// Extracts "key=<value>" from an attribute line ("ACCEPTED id=3"); value
+/// runs to the next space.  Returns "" when absent.
+std::string attr(const std::string& rest, const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    const std::size_t item_end = rest.find(' ', pos);
+    const std::size_t len =
+        (item_end == std::string::npos ? rest.size() : item_end) - pos;
+    if (rest.compare(pos, needle.size(), needle) == 0)
+      return rest.substr(pos + needle.size(), len - needle.size());
+    if (item_end == std::string::npos) break;
+    pos = item_end + 1;
+  }
+  return "";
+}
+
+std::uint64_t attr_u64(const std::string& rest, const std::string& key) {
+  std::uint64_t out = 0;
+  parse_u64(attr(rest, key), out);
+  return out;
+}
+
+}  // namespace
+
+Command parse_command(const std::string& line) {
+  Command cmd;
+  std::string verb, rest;
+  split_verb(line, verb, rest);
+  if (verb == "PING") {
+    cmd.kind = rest.empty() ? Command::Kind::kPing : Command::Kind::kInvalid;
+    if (!rest.empty()) cmd.error = "PING takes no arguments";
+  } else if (verb == "RUN") {
+    if (rest.empty()) {
+      cmd.error = "RUN needs a scenario spec ('RUN <spec>')";
+    } else {
+      cmd.kind = Command::Kind::kRun;
+      cmd.spec = rest;
+    }
+  } else if (verb == "CANCEL") {
+    if (!parse_u64(rest, cmd.id)) {
+      cmd.error = "CANCEL needs a run id ('CANCEL <id>')";
+    } else {
+      cmd.kind = Command::Kind::kCancel;
+    }
+  } else if (verb == "STATS") {
+    cmd.kind = Command::Kind::kStats;
+  } else if (verb == "SHUTDOWN") {
+    cmd.kind = Command::Kind::kShutdown;
+  } else {
+    cmd.error = "unknown command '" + verb +
+                "'; known: PING, RUN, CANCEL, STATS, SHUTDOWN";
+  }
+  return cmd;
+}
+
+std::string sanitize(std::string text) {
+  for (char& c : text)
+    if (c == '\n' || c == '\r') c = ' ';
+  return text;
+}
+
+std::string msg_pong() { return "PONG"; }
+
+std::string msg_error(const std::string& what) {
+  return "ERROR " + sanitize(what);
+}
+
+std::string msg_accepted(std::uint64_t id) {
+  return "ACCEPTED id=" + std::to_string(id);
+}
+
+std::string msg_reject(std::uint32_t retry_ms) {
+  return "REJECT retry_ms=" + std::to_string(retry_ms) + " reason=queue_full";
+}
+
+std::string msg_cancelling(std::uint64_t id) {
+  return "CANCELLING id=" + std::to_string(id);
+}
+
+std::string msg_checkpoint(std::uint64_t id, const std::string& label,
+                           std::uint64_t seed, const sim::Checkpoint& c) {
+  return "CHECKPOINT id=" + std::to_string(id) + " label=" +
+         sanitize(label) + " seed=" + std::to_string(seed) +
+         " requests=" + std::to_string(c.requests) +
+         " routing=" + std::to_string(c.routing_cost) +
+         " total=" + std::to_string(c.total_cost) +
+         " wall=" + std::to_string(c.wall_seconds);
+}
+
+std::string msg_result(std::uint64_t id, bool cached, std::size_t lines) {
+  return "RESULT id=" + std::to_string(id) +
+         " cached=" + (cached ? "1" : "0") +
+         " lines=" + std::to_string(lines);
+}
+
+std::string msg_done(std::uint64_t id, const std::string& status) {
+  return "DONE id=" + std::to_string(id) + " status=" + status;
+}
+
+std::string msg_stats(std::size_t active, std::size_t queued,
+                      std::uint64_t cache_hits, std::uint64_t cache_misses,
+                      std::size_t cache_entries) {
+  return "STATS active=" + std::to_string(active) +
+         " queued=" + std::to_string(queued) +
+         " cache_hits=" + std::to_string(cache_hits) +
+         " cache_misses=" + std::to_string(cache_misses) +
+         " cache_entries=" + std::to_string(cache_entries);
+}
+
+std::string msg_bye() { return "BYE"; }
+
+ServerLine parse_server_line(const std::string& line) {
+  ServerLine out;
+  std::string verb, rest;
+  split_verb(line, verb, rest);
+  if (verb == "PONG") {
+    out.kind = ServerLine::Kind::kPong;
+  } else if (verb == "ERROR") {
+    out.kind = ServerLine::Kind::kError;
+    out.text = rest;
+  } else if (verb == "ACCEPTED") {
+    out.kind = ServerLine::Kind::kAccepted;
+    out.id = attr_u64(rest, "id");
+  } else if (verb == "REJECT") {
+    out.kind = ServerLine::Kind::kReject;
+    out.retry_ms = static_cast<std::uint32_t>(attr_u64(rest, "retry_ms"));
+  } else if (verb == "CANCELLING") {
+    out.kind = ServerLine::Kind::kCancelling;
+    out.id = attr_u64(rest, "id");
+  } else if (verb == "CHECKPOINT") {
+    out.kind = ServerLine::Kind::kCheckpoint;
+    out.id = attr_u64(rest, "id");
+    out.text = rest;
+  } else if (verb == "RESULT") {
+    out.kind = ServerLine::Kind::kResult;
+    out.id = attr_u64(rest, "id");
+    out.cached = attr_u64(rest, "cached") != 0;
+    out.lines = static_cast<std::size_t>(attr_u64(rest, "lines"));
+  } else if (verb == "DONE") {
+    out.kind = ServerLine::Kind::kDone;
+    out.id = attr_u64(rest, "id");
+    out.status = attr(rest, "status");
+  } else if (verb == "STATS") {
+    out.kind = ServerLine::Kind::kStats;
+    out.text = rest;
+  } else if (verb == "BYE") {
+    out.kind = ServerLine::Kind::kBye;
+  } else {
+    out.text = line;
+  }
+  return out;
+}
+
+}  // namespace rdcn::serve

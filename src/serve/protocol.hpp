@@ -1,0 +1,101 @@
+// rdcn: the rdcn_serve line protocol.
+//
+// Serving mode speaks a newline-delimited text protocol over a local
+// stream socket — one scenario spec string in, progress lines and a CSV
+// payload back.  Everything here is pure string parsing/formatting shared
+// by the daemon, the client library, and the protocol tests; no sockets.
+//
+// Client → server, one command per line:
+//
+//   PING                          liveness probe
+//   RUN <scenario-spec>           submit (ScenarioSpec::parse form)
+//   CANCEL <id>                   cooperative cancel of a submitted run
+//   STATS                         queue/cache counters
+//   SHUTDOWN                      stop the daemon
+//
+// Server → client:
+//
+//   PONG
+//   ERROR <message>               malformed command / SpecError text
+//   ACCEPTED id=<n>               run admitted (queued or cache hit)
+//   REJECT retry_ms=<n> reason=queue_full   backpressure: try again later
+//   CANCELLING id=<n>             cancel request acknowledged
+//   CHECKPOINT id=<n> label=<l> seed=<s> requests=<r> routing=<c>
+//              total=<c> wall=<sec>        one line per trial checkpoint
+//   RESULT id=<n> cached=<0|1> lines=<k>   followed by k raw CSV lines
+//   DONE id=<n> status=<ok|cancelled|error>  run finished (terminal)
+//   STATS active=<n> queued=<n> cache_hits=<n> cache_misses=<n>
+//         cache_entries=<n>
+//   BYE                           shutdown acknowledged (connection closes)
+//
+// A RUN's lifetime on the wire: ACCEPTED, zero or more CHECKPOINTs,
+// optionally ERROR (execution failure), RESULT + payload on success, and
+// always exactly one DONE.  Lines for different runs may interleave on one
+// connection (the id attributes them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace rdcn::serve {
+
+struct Command {
+  enum class Kind { kPing, kRun, kCancel, kStats, kShutdown, kInvalid };
+  Kind kind = Kind::kInvalid;
+  std::string spec;       ///< kRun: the scenario spec text
+  std::uint64_t id = 0;   ///< kCancel: the run id
+  std::string error;      ///< kInvalid: what was wrong
+};
+
+/// Parses one client line.  Never throws; malformed input yields kInvalid
+/// with a diagnostic the daemon echoes back as an ERROR line.
+Command parse_command(const std::string& line);
+
+/// Newlines embedded in `text` (e.g. multi-line exception messages) would
+/// break line framing; fold them into spaces.
+std::string sanitize(std::string text);
+
+std::string msg_pong();
+std::string msg_error(const std::string& what);
+std::string msg_accepted(std::uint64_t id);
+std::string msg_reject(std::uint32_t retry_ms);
+std::string msg_cancelling(std::uint64_t id);
+std::string msg_checkpoint(std::uint64_t id, const std::string& label,
+                           std::uint64_t seed, const sim::Checkpoint& c);
+std::string msg_result(std::uint64_t id, bool cached, std::size_t lines);
+std::string msg_done(std::uint64_t id, const std::string& status);
+std::string msg_stats(std::size_t active, std::size_t queued,
+                      std::uint64_t cache_hits, std::uint64_t cache_misses,
+                      std::size_t cache_entries);
+std::string msg_bye();
+
+/// Client-side view of one server line.
+struct ServerLine {
+  enum class Kind {
+    kPong,
+    kError,
+    kAccepted,
+    kReject,
+    kCancelling,
+    kCheckpoint,
+    kResult,
+    kDone,
+    kStats,
+    kBye,
+    kOther,  ///< unrecognized (forward-compatible: clients skip these)
+  };
+  Kind kind = Kind::kOther;
+  std::uint64_t id = 0;        ///< runs: ACCEPTED/CHECKPOINT/RESULT/DONE/...
+  std::string text;            ///< kError: message; kOther: whole line
+  std::uint32_t retry_ms = 0;  ///< kReject
+  bool cached = false;         ///< kResult
+  std::size_t lines = 0;       ///< kResult: CSV payload line count
+  std::string status;          ///< kDone: ok | cancelled | error
+};
+
+/// Parses one server line.  Never throws; unknown verbs yield kOther.
+ServerLine parse_server_line(const std::string& line);
+
+}  // namespace rdcn::serve

@@ -1,0 +1,39 @@
+#include "serve/results_cache.hpp"
+
+namespace rdcn::serve {
+
+std::optional<std::string> ResultsCache::get(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+  return it->second->second;
+}
+
+void ResultsCache::put(const std::string& key, std::string payload) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(payload));
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+ResultsCache::Stats ResultsCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, lru_.size()};
+}
+
+}  // namespace rdcn::serve

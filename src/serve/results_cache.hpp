@@ -1,0 +1,56 @@
+// rdcn: the daemon's LRU results cache.
+//
+// Scenario runs are deterministic functions of their spec (seed included),
+// so a completed run's CSV payload can be replayed for any later
+// submission of an *equivalent* spec.  Equivalence is textual-after-
+// canonicalization: keys are ScenarioSpec::canonical_string(), which sorts
+// every component's parameters and drops execution-only fields — so
+// "r_bma:b=16,eager" and "r_bma:eager,b=16" hit the same entry.
+//
+// Bounded by entry count with least-recently-used eviction; every method
+// is thread-safe (one mutex — the payloads are small strings and the
+// daemon touches the cache once per submission, not per request).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace rdcn::serve {
+
+class ResultsCache {
+ public:
+  /// `capacity` = maximum resident entries; 0 disables caching entirely
+  /// (every get misses, every put is dropped).
+  explicit ResultsCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the payload for `key` and marks it most-recently-used.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// when at capacity.
+  void put(const std::string& key, std::string payload);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  ///< key → payload
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace rdcn::serve

@@ -19,8 +19,10 @@ namespace {
 /// Shared driver of both run_experiment overloads: validates the specs,
 /// expands them into independent (spec, trial) tasks with deterministic
 /// paired seeds, shards the tasks over the persistent ThreadPool, and
-/// averages each spec's trials.  `run_one(spec, seed)` executes a single
-/// trial and may throw (first error is rethrown on the calling thread).
+/// averages each spec's trials.  `run_one(spec, seed, control)` executes a
+/// single trial and may throw (first error is rethrown on the calling
+/// thread); `control` carries the config's cancellation token and a
+/// per-trial checkpoint hook bound to the task's spec and seed.
 template <typename RunOne>
 std::vector<RunResult> run_tasks(const ExperimentConfig& config,
                                  const std::vector<ExperimentSpec>& specs,
@@ -53,10 +55,13 @@ std::vector<RunResult> run_tasks(const ExperimentConfig& config,
 
   // parallel_for tasks must not throw; capture the first construction
   // error (e.g. a required parameter a custom entry forgot to default)
-  // and rethrow it on the calling thread.
+  // and rethrow it on the calling thread.  Cancellations are captured
+  // separately — a cancelled run is the caller's own doing, not a spec
+  // problem, and reports as CancelledError.
   std::mutex error_mutex;
   std::string error;
   bool failed = false;
+  std::string cancel_message;
 
   std::vector<RunResult> raw(tasks.size());
   parallel_for(
@@ -64,11 +69,22 @@ std::vector<RunResult> run_tasks(const ExperimentConfig& config,
       [&](std::size_t i) {
         const Task& task = tasks[i];
         const ExperimentSpec& spec = specs[task.spec_index];
+        RunControl control;
+        control.cancel = config.cancel;
+        if (config.on_checkpoint) {
+          control.on_checkpoint = [&config, &spec,
+                                   seed = task.seed](const Checkpoint& c) {
+            config.on_checkpoint(spec, seed, c);
+          };
+        }
         try {
-          RunResult r = run_one(spec, task.seed);
+          RunResult r = run_one(spec, task.seed, control);
           r.seed = task.seed;
           r.algorithm = spec.display();
           raw[i] = std::move(r);
+        } catch (const CancelledError& e) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          cancel_message = e.what();
         } catch (const std::exception& e) {
           // Any escape would hit parallel_for's no-throw contract and
           // terminate; downstream-registered builders may throw more than
@@ -78,7 +94,11 @@ std::vector<RunResult> run_tasks(const ExperimentConfig& config,
           failed = true;
         }
       },
-      config.threads);
+      config.threads, config.cancel);
+  if (config.cancel.cancelled())
+    throw CancelledError(!cancel_message.empty()
+                             ? cancel_message
+                             : std::string("experiment cancelled"));
   if (failed) throw SpecError(error);
 
   // Group by spec and average.
@@ -115,11 +135,12 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
       checkpoint_grid(trace.size(), config.checkpoints);
   return run_tasks(
       config, specs,
-      [&](const ExperimentSpec& spec, std::uint64_t seed) {
+      [&](const ExperimentSpec& spec, std::uint64_t seed,
+          const RunControl& control) {
         auto matcher = registry.make({spec.algorithm, spec.params},
                                      make_instance(config, spec), &trace,
                                      seed);
-        return run_simulation(*matcher, trace, grid);
+        return run_simulation(*matcher, trace, grid, control);
       });
 }
 
@@ -131,7 +152,8 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
       scenario::AlgorithmRegistry::instance();
   return run_tasks(
       config, specs,
-      [&](const ExperimentSpec& spec, std::uint64_t seed) {
+      [&](const ExperimentSpec& spec, std::uint64_t seed,
+          const RunControl& control) {
         // full_trace = nullptr: offline comparators raise SpecError here —
         // a stream cannot hand them the whole trace up front.
         auto matcher = registry.make({spec.algorithm, spec.params},
@@ -142,7 +164,7 @@ std::vector<RunResult> run_experiment(const ExperimentConfig& config,
                         "stream factory must yield fresh streams");
         const std::vector<std::uint64_t> grid =
             checkpoint_grid(stream->total(), config.checkpoints);
-        return run_simulation(*matcher, *stream, grid);
+        return run_simulation(*matcher, *stream, grid, control);
       });
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/param_map.hpp"
 #include "net/distance_matrix.hpp"
 #include "sim/metrics.hpp"
@@ -41,6 +42,17 @@ struct ExperimentConfig {
   std::size_t trials = 5;     ///< repetitions for randomized algorithms
   std::uint64_t base_seed = 42;
   std::size_t threads = 0;    ///< 0 = hardware concurrency
+
+  /// Cooperative cancellation (serving mode).  Once the token fires, tasks
+  /// not yet started are skipped and running trials stop at their next
+  /// serve-chunk boundary; run_experiment then throws CancelledError
+  /// instead of returning partial averages.  Inert by default.
+  CancelToken cancel{};
+  /// Optional progress stream: called for every checkpoint of every trial,
+  /// possibly from several pool workers at once (must be thread-safe).
+  std::function<void(const ExperimentSpec& spec, std::uint64_t seed,
+                     const Checkpoint& checkpoint)>
+      on_checkpoint{};
 };
 
 /// Whether an algorithm's behaviour depends on its seed (from its

@@ -15,6 +15,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace rdcn::sim {
@@ -22,9 +23,12 @@ namespace rdcn::sim {
 /// Runs fn(i) for i in [0, count) across up to `num_threads` threads
 /// (0 = hardware concurrency; the calling thread participates).  fn must
 /// be safe to call concurrently for distinct i and must not throw.
-/// Blocks until every task finished.
+/// Blocks until every task finished.  Once `cancel` fires, indices not yet
+/// started are skipped (in-flight ones finish); the caller checks the
+/// token afterwards to tell a complete run from a cancelled one.
 template <typename F>
-void parallel_for(std::size_t count, F&& fn, std::size_t num_threads = 0) {
+void parallel_for(std::size_t count, F&& fn, std::size_t num_threads = 0,
+                  const CancelToken& cancel = {}) {
   using Fn = std::remove_reference_t<F>;
   ThreadPool& pool = ThreadPool::instance();
   const std::size_t workers =
@@ -33,7 +37,8 @@ void parallel_for(std::size_t count, F&& fn, std::size_t num_threads = 0) {
   pool.run(
       count, workers < count ? workers : count,
       [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
-      const_cast<void*>(static_cast<const void*>(std::addressof(ref))));
+      const_cast<void*>(static_cast<const void*>(std::addressof(ref))),
+      cancel.raw());
 }
 
 /// Maps fn over [0, count) and collects results in index order.

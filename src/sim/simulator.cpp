@@ -25,6 +25,7 @@ struct Snapshotter {
   core::OnlineBMatcher& matcher;
   Stopwatch& watch;
   RunResult& result;
+  const RunControl& control;
   std::size_t next_cp = 0;
 
   void snapshot(std::uint64_t served) {
@@ -41,6 +42,9 @@ struct Snapshotter {
     c.wall_seconds = watch.seconds();
     result.checkpoints.push_back(c);
     ++next_cp;
+    // snapshot() runs with the clock paused (or before it starts), so the
+    // streaming hook never pollutes the wall-clock measurement.
+    if (control.on_checkpoint) control.on_checkpoint(c);
   }
 };
 
@@ -75,7 +79,8 @@ struct StreamSource {
 
 template <typename Source>
 RunResult run_batched(core::OnlineBMatcher& matcher, const Source& source,
-                      std::vector<std::uint64_t> checkpoints) {
+                      std::vector<std::uint64_t> checkpoints,
+                      const RunControl& control) {
   RDCN_ASSERT_MSG(!checkpoints.empty(), "need at least one checkpoint");
   RDCN_ASSERT_MSG(std::is_sorted(checkpoints.begin(), checkpoints.end()),
                   "checkpoints must be non-decreasing");
@@ -96,7 +101,7 @@ RunResult run_batched(core::OnlineBMatcher& matcher, const Source& source,
 
   Stopwatch watch;
   watch.reset();
-  Snapshotter snap{matcher, watch, result};
+  Snapshotter snap{matcher, watch, result, control};
   // A checkpoint at 0 snapshots the pre-trace state; this is also how an
   // empty trace yields a (zero-cost) ledger.
   while (snap.next_cp < checkpoints.size() &&
@@ -113,6 +118,12 @@ RunResult run_batched(core::OnlineBMatcher& matcher, const Source& source,
     // the final chunk before a checkpoint shrinks so no request beyond it
     // is served before the snapshot.
     while (served < target) {
+      // Cooperative cancellation: checked once per chunk, so a cancelled
+      // run stops within one kServeChunk boundary of the request.
+      if (control.cancel.cancelled())
+        throw CancelledError("run cancelled after " + std::to_string(served) +
+                             " of " + std::to_string(source.size()) +
+                             " requests");
       const std::size_t chunk = static_cast<std::size_t>(
           std::min<std::uint64_t>(kServeChunk, target - served));
       if constexpr (!Source::kTimedFill) watch.pause();
@@ -136,16 +147,20 @@ RunResult run_batched(core::OnlineBMatcher& matcher, const Source& source,
 
 RunResult run_simulation(core::OnlineBMatcher& matcher,
                          const trace::Trace& trace,
-                         std::vector<std::uint64_t> checkpoints) {
-  return run_batched(matcher, TraceSource{trace}, std::move(checkpoints));
+                         std::vector<std::uint64_t> checkpoints,
+                         const RunControl& control) {
+  return run_batched(matcher, TraceSource{trace}, std::move(checkpoints),
+                     control);
 }
 
 RunResult run_simulation(core::OnlineBMatcher& matcher,
                          trace::TraceStream& stream,
-                         std::vector<std::uint64_t> checkpoints) {
+                         std::vector<std::uint64_t> checkpoints,
+                         const RunControl& control) {
   RDCN_ASSERT_MSG(stream.produced() == 0,
                   "run_simulation needs an unconsumed stream");
-  return run_batched(matcher, StreamSource{stream}, std::move(checkpoints));
+  return run_batched(matcher, StreamSource{stream}, std::move(checkpoints),
+                     control);
 }
 
 RunResult run_simulation_scalar(core::OnlineBMatcher& matcher,
@@ -165,7 +180,8 @@ RunResult run_simulation_scalar(core::OnlineBMatcher& matcher,
 
   Stopwatch watch;
   watch.reset();
-  Snapshotter snap{matcher, watch, result};
+  const RunControl no_control;
+  Snapshotter snap{matcher, watch, result, no_control};
   while (snap.next_cp < checkpoints.size() &&
          checkpoints[snap.next_cp] == 0) {
     snap.snapshot(0);

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "core/online_matcher.hpp"
 #include "sim/metrics.hpp"
 #include "trace/trace.hpp"
@@ -33,6 +35,21 @@ inline constexpr std::size_t kServeChunk = 4096;
 std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
                                            std::size_t points);
 
+/// Live-run controls for the serving layer: cooperative cancellation plus
+/// checkpoint streaming.  The default-constructed value is a no-op on the
+/// replay loop (one inert-token check per chunk).
+struct RunControl {
+  /// Polled at every chunk boundary (every kServeChunk requests, plus at
+  /// each checkpoint clip): once it fires the run throws CancelledError
+  /// without serving another chunk.  The matcher is left in its
+  /// mid-run state; ledgers up to the last completed chunk are intact.
+  CancelToken cancel{};
+  /// Called right after each checkpoint row is captured (clock paused), in
+  /// grid order, on the thread running the simulation.  Lets a daemon
+  /// stream progress without waiting for the RunResult.
+  std::function<void(const Checkpoint&)> on_checkpoint{};
+};
+
 /// Runs `matcher` (already reset/fresh) over `trace` with chunked replay.
 /// `checkpoints` must be non-decreasing; the last entry is clamped to the
 /// trace length.  A checkpoint of 0 snapshots the pre-trace (zero-cost)
@@ -40,7 +57,8 @@ std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
 /// beyond the last checkpoint is served.
 RunResult run_simulation(core::OnlineBMatcher& matcher,
                          const trace::Trace& trace,
-                         std::vector<std::uint64_t> checkpoints);
+                         std::vector<std::uint64_t> checkpoints,
+                         const RunControl& control = {});
 
 /// Streaming replay: identical semantics, but chunks are pulled from
 /// `stream` (which must be unconsumed) instead of a materialized trace —
@@ -49,7 +67,8 @@ RunResult run_simulation(core::OnlineBMatcher& matcher,
 /// is excluded from wall-clock (it is trace generation).
 RunResult run_simulation(core::OnlineBMatcher& matcher,
                          trace::TraceStream& stream,
-                         std::vector<std::uint64_t> checkpoints);
+                         std::vector<std::uint64_t> checkpoints,
+                         const RunControl& control = {});
 
 /// Reference scalar replay: one serve() call per request, the historical
 /// execution mode.  Kept as the semantic baseline for the batch

@@ -15,6 +15,7 @@ struct ThreadPool::Job {
   Body body;
   void* ctx;
   std::size_t count;
+  const std::atomic<bool>* cancel;     ///< nullptr = not cancellable
   std::atomic<std::size_t> cursor{0};  ///< next index to claim
   std::atomic<std::size_t> done{0};    ///< indices fully executed
   std::atomic<std::int64_t> slots;     ///< worker participation slots left
@@ -22,8 +23,9 @@ struct ThreadPool::Job {
   std::mutex m;
   std::condition_variable cv;
 
-  Job(Body b, void* c, std::size_t n, std::int64_t worker_slots)
-      : body(b), ctx(c), count(n), slots(worker_slots) {}
+  Job(Body b, void* c, std::size_t n, std::int64_t worker_slots,
+      const std::atomic<bool>* cancel_flag)
+      : body(b), ctx(c), count(n), cancel(cancel_flag), slots(worker_slots) {}
 
   bool finished() const noexcept {
     return done.load(std::memory_order_acquire) == count &&
@@ -67,7 +69,13 @@ void ThreadPool::drain(Job& job) {
   while (true) {
     const std::size_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) return;
-    job.body(job.ctx, i);
+    // A cancelled job fast-forwards: remaining indices are still claimed
+    // and accounted (so the owner's completion predicate holds and the job
+    // leaves the queue normally) but their bodies never run.
+    if (job.cancel == nullptr ||
+        !job.cancel->load(std::memory_order_acquire)) {
+      job.body(job.ctx, i);
+    }
     job.done.fetch_add(1, std::memory_order_release);
   }
 }
@@ -107,19 +115,23 @@ void ThreadPool::worker_main() {
 }
 
 void ThreadPool::run(std::size_t count, std::size_t max_parallelism,
-                     Body body, void* ctx) {
+                     Body body, void* ctx, const std::atomic<bool>* cancel) {
   if (count == 0) return;
   // Inline execution when parallelism cannot help — or when called from a
   // pool worker (a nested blocking job would risk self-deadlock).
   if (count == 1 || max_parallelism <= 1 || workers_.empty() ||
       t_on_pool_worker) {
-    for (std::size_t i = 0; i < count; ++i) body(ctx, i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->load(std::memory_order_acquire))
+        return;
+      body(ctx, i);
+    }
     return;
   }
 
   // The owner participates, so hand out one slot fewer to the workers.
   Job job(body, ctx, count,
-          static_cast<std::int64_t>(max_parallelism) - 1);
+          static_cast<std::int64_t>(max_parallelism) - 1, cancel);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(&job);

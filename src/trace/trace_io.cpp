@@ -1,11 +1,15 @@
 #include "trace/trace_io.hpp"
 
+#include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/param_map.hpp"
 
 namespace rdcn::trace {
 
@@ -20,14 +24,50 @@ void write_csv_file(const Trace& trace, const std::string& path) {
   write_csv(trace, f);
 }
 
-Trace read_csv(std::istream& in) {
+namespace {
+
+[[noreturn]] void parse_error(const std::string& source, std::size_t line_no,
+                              const std::string& what) {
+  throw SpecError(source + ":" + std::to_string(line_no) + ": " + what);
+}
+
+/// Checked unsigned parse: the whole field must be digits (std::stoul-style
+/// trailing garbage, signs, and empty fields are errors, not truncations)
+/// and the value must fit `max`.
+std::uint64_t parse_field(std::string_view field, const char* what,
+                          std::uint64_t max, const std::string& source,
+                          std::size_t line_no) {
+  std::uint64_t out = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec == std::errc::result_out_of_range || (ec == std::errc{} && out > max))
+    parse_error(source, line_no,
+                std::string(what) + " '" + std::string(field) +
+                    "' exceeds the supported maximum of " +
+                    std::to_string(max));
+  if (ec != std::errc{} || ptr != end)
+    parse_error(source, line_no,
+                std::string("cannot parse ") + what + " '" +
+                    std::string(field) + "' as an unsigned integer");
+  return out;
+}
+
+}  // namespace
+
+Trace read_csv(std::istream& in, const std::string& source) {
+  constexpr std::uint64_t kMaxRack = std::numeric_limits<Rack>::max();
+
   std::string line;
+  std::size_t line_no = 0;
   std::size_t num_racks = 0;
   std::string name = "imported";
   std::vector<Request> requests;
   std::size_t max_rack = 0;
 
   while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (line.empty()) continue;
     if (line[0] == '#') {
       // Parse "# racks=<n> name=<name>".
@@ -35,22 +75,36 @@ Trace read_csv(std::istream& in) {
       std::string tok;
       while (hdr >> tok) {
         if (tok.rfind("racks=", 0) == 0)
-          num_racks = static_cast<std::size_t>(std::stoull(tok.substr(6)));
+          num_racks = static_cast<std::size_t>(parse_field(
+              std::string_view(tok).substr(6), "header racks count",
+              kMaxRack + 1, source, line_no));
         else if (tok.rfind("name=", 0) == 0)
           name = tok.substr(5);
       }
       continue;
     }
     const std::size_t comma = line.find(',');
-    RDCN_ASSERT_MSG(comma != std::string::npos, "malformed trace line");
-    const auto u = static_cast<Rack>(std::stoul(line.substr(0, comma)));
-    const auto v = static_cast<Rack>(std::stoul(line.substr(comma + 1)));
-    RDCN_ASSERT_MSG(u != v, "trace contains a self-loop request");
+    if (comma == std::string::npos)
+      parse_error(source, line_no,
+                  "malformed request line '" + line + "' (want 'src,dst')");
+    const std::string_view text(line);
+    const auto u = static_cast<Rack>(parse_field(
+        text.substr(0, comma), "source rack", kMaxRack, source, line_no));
+    const auto v = static_cast<Rack>(parse_field(
+        text.substr(comma + 1), "destination rack", kMaxRack, source,
+        line_no));
+    if (u == v)
+      parse_error(source, line_no,
+                  "self-loop request " + std::to_string(u) + "," +
+                      std::to_string(v));
     requests.push_back(Request::make(u, v));
     max_rack = std::max<std::size_t>(max_rack, std::max(u, v));
   }
-  if (num_racks == 0) num_racks = max_rack + 1;
-  RDCN_ASSERT_MSG(num_racks > max_rack, "rack id exceeds declared universe");
+  if (num_racks == 0) num_racks = requests.empty() ? 1 : max_rack + 1;
+  if (num_racks <= max_rack)
+    throw SpecError(source + ": rack id " + std::to_string(max_rack) +
+                    " exceeds the declared universe of " +
+                    std::to_string(num_racks) + " racks");
 
   Trace t(num_racks, name);
   t.reserve(requests.size());
@@ -60,8 +114,9 @@ Trace read_csv(std::istream& in) {
 
 Trace read_csv_file(const std::string& path) {
   std::ifstream f(path);
-  RDCN_ASSERT_MSG(f.good(), "cannot open trace file for reading");
-  return read_csv(f);
+  if (!f.good())
+    throw SpecError("cannot open trace file '" + path + "' for reading");
+  return read_csv(f, path);
 }
 
 }  // namespace rdcn::trace

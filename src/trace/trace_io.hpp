@@ -16,9 +16,15 @@ namespace rdcn::trace {
 void write_csv(const Trace& trace, std::ostream& out);
 void write_csv_file(const Trace& trace, const std::string& path);
 
-/// Throws via RDCN_ASSERT on malformed input.  If the header is missing,
-/// num_racks is inferred as max rack id + 1.
-Trace read_csv(std::istream& in);
+/// Parses the CSV form with *checked* numeric conversion: trailing
+/// garbage ("12abc"), negatives, values exceeding the rack id range,
+/// missing commas, and self-loops all raise SpecError naming the offending
+/// `source` file and line ("trace.csv:12: ...") instead of silently
+/// truncating or aborting.  If the header is missing, num_racks is
+/// inferred as max rack id + 1.
+Trace read_csv(std::istream& in, const std::string& source = "<trace>");
+
+/// read_csv over a file; unopenable paths raise SpecError.
 Trace read_csv_file(const std::string& path);
 
 }  // namespace rdcn::trace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -99,6 +100,54 @@ TEST_F(ExperimentFixture, CustomLabelIsUsed) {
   };
   const auto results = run_experiment(config_, trace_, specs);
   EXPECT_EQ(results[0].algorithm, "mine");
+}
+
+TEST_F(ExperimentFixture, PreCancelledConfigThrowsCancelledError) {
+  // Cancellation is not a spec problem: it must surface as CancelledError
+  // (distinct from SpecError) so serving layers can report "cancelled"
+  // rather than "failed".
+  config_.cancel = CancelToken::make();
+  config_.cancel.request_cancel();
+  const std::vector<ExperimentSpec> specs = {{.algorithm = "bma", .b = 2}};
+  EXPECT_THROW(run_experiment(config_, trace_, specs), CancelledError);
+}
+
+TEST_F(ExperimentFixture, CancelFromCheckpointHookStopsTheExperiment) {
+  config_.cancel = CancelToken::make();
+  std::atomic<std::size_t> seen{0};
+  config_.on_checkpoint = [this, &seen](const ExperimentSpec&, std::uint64_t,
+                                        const Checkpoint&) {
+    seen.fetch_add(1, std::memory_order_relaxed);
+    config_.cancel.request_cancel();
+  };
+  const std::vector<ExperimentSpec> specs = {
+      {.algorithm = "bma", .b = 2},
+      {.algorithm = "oblivious", .b = 2},
+  };
+  EXPECT_THROW(run_experiment(config_, trace_, specs), CancelledError);
+  EXPECT_GE(seen.load(), 1u);
+
+  // The same config minus the cancelled token still runs fine (the pool
+  // and driver carry no poisoned state).
+  config_.cancel = CancelToken{};
+  config_.on_checkpoint = {};
+  EXPECT_EQ(run_experiment(config_, trace_, specs).size(), 2u);
+}
+
+TEST_F(ExperimentFixture, CheckpointHookSeesEverySpecAndSeed) {
+  std::mutex mu;
+  std::vector<std::string> labels;
+  config_.trials = 2;
+  config_.on_checkpoint = [&](const ExperimentSpec& spec, std::uint64_t seed,
+                              const Checkpoint& c) {
+    const std::lock_guard<std::mutex> lock(mu);
+    labels.push_back(spec.algorithm + "/" + std::to_string(seed) + "/" +
+                     std::to_string(c.requests));
+  };
+  const std::vector<ExperimentSpec> specs = {{.algorithm = "r_bma", .b = 2}};
+  run_experiment(config_, trace_, specs);
+  // r_bma is randomized: trials distinct seeds × checkpoints hooks fire.
+  EXPECT_EQ(labels.size(), config_.trials * config_.checkpoints);
 }
 
 TEST_F(ExperimentFixture, RandomizedFlagging) {

@@ -46,24 +46,28 @@ TEST(FailureHandling, UnknownPagingEngineAborts) {
   EXPECT_DEATH(paging::parse_engine("belady2"), "unknown paging engine");
 }
 
-TEST(FailureHandling, MalformedTraceLineAborts) {
+// Trace import takes user files, so its failures are SpecError (report
+// and keep serving) rather than asserts — the serving daemon must survive
+// a malformed upload.  Detailed message/location coverage lives in
+// trace_io_test; here we pin the failure *mode*.
+TEST(FailureHandling, MalformedTraceLineThrows) {
   std::stringstream in("0;1\n");
-  EXPECT_DEATH(trace::read_csv(in), "malformed");
+  EXPECT_THROW(trace::read_csv(in), SpecError);
 }
 
-TEST(FailureHandling, SelfLoopRequestAborts) {
+TEST(FailureHandling, SelfLoopRequestThrows) {
   std::stringstream in("3,3\n");
-  EXPECT_DEATH(trace::read_csv(in), "self-loop");
+  EXPECT_THROW(trace::read_csv(in), SpecError);
 }
 
-TEST(FailureHandling, RackIdBeyondDeclaredUniverseAborts) {
+TEST(FailureHandling, RackIdBeyondDeclaredUniverseThrows) {
   std::stringstream in("# racks=3 name=x\n0,7\n");
-  EXPECT_DEATH(trace::read_csv(in), "exceeds declared universe");
+  EXPECT_THROW(trace::read_csv(in), SpecError);
 }
 
-TEST(FailureHandling, MissingTraceFileAborts) {
-  EXPECT_DEATH(trace::read_csv_file("/nonexistent/rdcn/trace.csv"),
-               "cannot open");
+TEST(FailureHandling, MissingTraceFileThrows) {
+  EXPECT_THROW(trace::read_csv_file("/nonexistent/rdcn/trace.csv"),
+               SpecError);
 }
 
 TEST(FailureHandling, BeladyReplayDivergenceAborts) {

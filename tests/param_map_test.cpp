@@ -2,6 +2,8 @@
 // (common/param_map.hpp) — the data layer of the scenario API.
 #include <gtest/gtest.h>
 
+#include <clocale>
+
 #include "common/param_map.hpp"
 
 namespace {
@@ -149,6 +151,72 @@ TEST(Spec, RoundTripsThroughToString) {
 TEST(Spec, EmptyNameIsAnError) {
   EXPECT_THROW(Spec::parse(""), SpecError);
   EXPECT_THROW(Spec::parse(":a=1"), SpecError);
+}
+
+TEST(ParamMap, ParseDoubleRejectsNonFiniteAndExotic) {
+  // Spec strings mean plain decimal/scientific numbers; hex floats, inf,
+  // and nan would round-trip badly (and inf/nan poison every cost
+  // average), so they are conversion errors, not values.
+  const ParamMap m = ParamMap::parse(
+      "hex=0x10,inf=inf,ninf=-inf,nan=nan,loneexp=1e,trail=1.5z,plus=+1");
+  EXPECT_THROW(m.get<double>("hex"), SpecError);
+  EXPECT_THROW(m.get<double>("inf"), SpecError);
+  EXPECT_THROW(m.get<double>("ninf"), SpecError);
+  EXPECT_THROW(m.get<double>("nan"), SpecError);
+  EXPECT_THROW(m.get<double>("loneexp"), SpecError);
+  EXPECT_THROW(m.get<double>("trail"), SpecError);
+  EXPECT_THROW(m.get<double>("plus"), SpecError);
+  // Scientific notation with an exponent sign stays legal.
+  const ParamMap ok = ParamMap::parse("a=1e+3,b=2.5e-2,c=-0.5");
+  EXPECT_DOUBLE_EQ(ok.get<double>("a"), 1000.0);
+  EXPECT_DOUBLE_EQ(ok.get<double>("b"), 0.025);
+  EXPECT_DOUBLE_EQ(ok.get<double>("c"), -0.5);
+}
+
+TEST(ParamMap, ParseDoubleIgnoresNumericLocale) {
+  // Regression: the old strtod-based conversion honored LC_NUMERIC, so
+  // under a comma-decimal locale "skew=1.2" silently parsed as 1.0 —
+  // specs must mean the same experiment on every machine.
+  const char* previous = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (previous == nullptr) GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  const ParamMap m = ParamMap::parse("skew=1.2");
+  const double parsed = m.get<double>("skew");
+  std::setlocale(LC_NUMERIC, "C");
+  EXPECT_DOUBLE_EQ(parsed, 1.2);
+}
+
+TEST(ParamMap, ContainsIsAPureProbe) {
+  // Regression: contains() used to mark the entry consumed, so a key that
+  // was only probed — never actually read — escaped the unknown-parameter
+  // check and typos sailed through.
+  const ParamMap m = ParamMap::parse("typo=3");
+  EXPECT_TRUE(m.contains("typo"));
+  const auto unconsumed = m.unconsumed_keys();
+  ASSERT_EQ(unconsumed.size(), 1u);
+  EXPECT_EQ(unconsumed[0], "typo");
+  EXPECT_THROW(m.require_all_consumed("algorithm 'x'"), SpecError);
+}
+
+TEST(ParamMap, CanonicalStringSortsKeys) {
+  EXPECT_EQ(ParamMap::parse("z=1,a=2,m").canonical_string(), "a=2,m,z=1");
+  EXPECT_EQ(ParamMap::parse("").canonical_string(), "");
+  // Canonical text is itself a valid spec, and canonicalizing is
+  // idempotent.  (operator== stays order-sensitive — insertion order is
+  // real data for to_string() — so compare canonical forms.)
+  const ParamMap m = ParamMap::parse("skew=1.2,pairs=30");
+  EXPECT_EQ(ParamMap::parse(m.canonical_string()).canonical_string(),
+            m.canonical_string());
+}
+
+TEST(Spec, CanonicalStringIsOrderInsensitive) {
+  const Spec a = Spec::parse("r_bma:engine=lru,b=16,eager");
+  const Spec b = Spec::parse("r_bma:eager,b=16,engine=lru");
+  EXPECT_EQ(a.canonical_string(), b.canonical_string());
+  EXPECT_EQ(a.canonical_string(), "r_bma:b=16,eager,engine=lru");
+  EXPECT_EQ(Spec::parse("bma").canonical_string(), "bma");
+  // Different parameter *values* stay different specs.
+  EXPECT_NE(Spec::parse("r_bma:b=16").canonical_string(),
+            Spec::parse("r_bma:b=12").canonical_string());
 }
 
 }  // namespace

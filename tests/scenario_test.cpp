@@ -63,6 +63,36 @@ TEST(ScenarioSpec, PinnedThreadCountRoundTrips) {
   EXPECT_EQ(ScenarioSpec::parse(spec.to_string()).threads, 4u);
 }
 
+TEST(ScenarioSpec, CanonicalStringIsParamOrderInsensitive) {
+  // The serving cache keys on canonical_string(): permuting any
+  // component's parameters must not change it.
+  const ScenarioSpec a = ScenarioSpec::parse(
+      "topology=torus:rows=5,cols=10;workload=flow_pool:pairs=200,skew=1.2;"
+      "algorithms=r_bma:engine=lru,bma;b=6,12;racks=50;requests=1000");
+  const ScenarioSpec b = ScenarioSpec::parse(
+      "topology=torus:cols=10,rows=5;workload=flow_pool:skew=1.2,pairs=200;"
+      "algorithms=r_bma:engine=lru,bma;b=6,12;racks=50;requests=1000");
+  EXPECT_EQ(a.canonical_string(), b.canonical_string());
+  // Canonical text is itself parseable and canonicalizes to itself.
+  EXPECT_EQ(ScenarioSpec::parse(a.canonical_string()).canonical_string(),
+            a.canonical_string());
+}
+
+TEST(ScenarioSpec, CanonicalStringDropsThreadsButKeepsOrderOfLists) {
+  // threads is an execution detail, not experiment identity; algorithm
+  // and b order determine result column order, so they ARE identity.
+  const ScenarioSpec pinned = ScenarioSpec::parse("racks=8;threads=4");
+  const ScenarioSpec free_threads = ScenarioSpec::parse("racks=8");
+  EXPECT_EQ(pinned.canonical_string(), free_threads.canonical_string());
+  EXPECT_EQ(pinned.canonical_string().find("threads"), std::string::npos);
+
+  const ScenarioSpec ab =
+      ScenarioSpec::parse("algorithms=r_bma,bma;b=6,12;racks=8");
+  const ScenarioSpec ba =
+      ScenarioSpec::parse("algorithms=bma,r_bma;b=12,6;racks=8");
+  EXPECT_NE(ab.canonical_string(), ba.canonical_string());
+}
+
 TEST(ScenarioSpec, DefaultsAreAppliedOnResolve) {
   const ScenarioSpec spec = ScenarioSpec::parse("racks=20;requests=1000");
   const ScenarioSpec r = spec.resolved();

@@ -1,11 +1,13 @@
 // Tests for the simulation engine (sim/simulator.hpp, sim/metrics.hpp).
 #include <gtest/gtest.h>
 
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "scenario/registry.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
+#include "trace/trace_stream.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -202,6 +204,99 @@ TEST(Metrics, AverageRunsIsExactForIdenticalRuns) {
               r1.checkpoints[p].routing_cost);
     EXPECT_EQ(avg.checkpoints[p].total_cost, r1.checkpoints[p].total_cost);
   }
+}
+
+TEST(RunControl, CancelStopsAtNextChunkBoundary) {
+  // Cancel fired from the first checkpoint's hook (one serve chunk in):
+  // the run must throw CancelledError without serving the remaining two
+  // chunks — the matcher's ledger stops exactly at the boundary.
+  const net::Topology topo = net::make_fat_tree(8);
+  Xoshiro256 rng(11);
+  const trace::Trace t =
+      trace::generate_uniform(8, 3 * kServeChunk, rng);  // 3 full chunks
+  auto alg =
+      scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
+  RunControl control;
+  control.cancel = rdcn::CancelToken::make();
+  control.on_checkpoint = [&](const Checkpoint& c) {
+    if (c.requests == kServeChunk) control.cancel.request_cancel();
+  };
+  EXPECT_THROW(
+      run_simulation(*alg, t, {kServeChunk, 3 * kServeChunk}, control),
+      rdcn::CancelledError);
+  EXPECT_EQ(alg->costs().requests, kServeChunk);
+}
+
+TEST(RunControl, CancelStopsStreamedRunToo) {
+  const net::Topology topo = net::make_fat_tree(8);
+  Xoshiro256 rng(12);
+  const trace::Trace t = trace::generate_uniform(8, 3 * kServeChunk, rng);
+  auto alg =
+      scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
+  trace::MaterializedStream stream(t);
+  RunControl control;
+  control.cancel = rdcn::CancelToken::make();
+  control.on_checkpoint = [&](const Checkpoint&) {
+    control.cancel.request_cancel();
+  };
+  EXPECT_THROW(
+      run_simulation(*alg, stream, {kServeChunk, 3 * kServeChunk}, control),
+      rdcn::CancelledError);
+  EXPECT_EQ(alg->costs().requests, kServeChunk);
+}
+
+TEST(RunControl, PreCancelledRunServesNothing) {
+  const net::Topology topo = net::make_fat_tree(8);
+  Xoshiro256 rng(13);
+  const trace::Trace t = trace::generate_uniform(8, 100, rng);
+  auto alg =
+      scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
+  RunControl control;
+  control.cancel = rdcn::CancelToken::make();
+  control.cancel.request_cancel();
+  EXPECT_THROW(run_simulation(*alg, t, {t.size()}, control),
+               rdcn::CancelledError);
+  EXPECT_EQ(alg->costs().requests, 0u);
+}
+
+TEST(RunControl, OnCheckpointStreamsTheLedgerInGridOrder) {
+  // The hook must see exactly the checkpoints the RunResult reports, in
+  // order, with the clock paused (wall time already accounted).
+  const net::Topology topo = net::make_fat_tree(8);
+  Xoshiro256 rng(14);
+  const trace::Trace t = trace::generate_uniform(8, 1000, rng);
+  auto alg =
+      scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
+  std::vector<Checkpoint> streamed;
+  RunControl control;
+  control.on_checkpoint = [&](const Checkpoint& c) {
+    streamed.push_back(c);
+  };
+  const RunResult r = run_simulation(*alg, t, {250, 500, 1000}, control);
+  ASSERT_EQ(streamed.size(), r.checkpoints.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].requests, r.checkpoints[i].requests);
+    EXPECT_EQ(streamed[i].total_cost, r.checkpoints[i].total_cost);
+  }
+}
+
+TEST(RunControl, InertDefaultRunsToCompletion) {
+  // The default RunControl must not change behaviour: same ledger as a
+  // run without one.
+  const net::Topology topo = net::make_fat_tree(8);
+  Xoshiro256 rng(15);
+  const trace::Trace t = trace::generate_uniform(8, 1000, rng);
+  auto a =
+      scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
+  auto b =
+      scenario::make_algorithm("bma", make_instance(topo.distances, 2, 5));
+  const RunResult plain = run_simulation(*a, t, {500, 1000});
+  const RunResult controlled =
+      run_simulation(*b, t, {500, 1000}, RunControl{});
+  ASSERT_EQ(plain.checkpoints.size(), controlled.checkpoints.size());
+  for (std::size_t i = 0; i < plain.checkpoints.size(); ++i)
+    EXPECT_EQ(plain.checkpoints[i].total_cost,
+              controlled.checkpoints[i].total_cost);
 }
 
 TEST(Metrics, AverageRunsMeansDifferentSeeds) {
