@@ -36,11 +36,19 @@ constexpr const char* kUsage =
     "                    REJECT + retry hint (default 16)\n"
     "  --executors=N     concurrent scenario runs (default 2)\n"
     "  --cache=N         results-cache entries, 0 disables (default 64)\n"
+    "  --disk-cache=DIR  persistent results store surviving restarts;\n"
+    "                    corrupt entries are skipped at startup (default off)\n"
     "  --threads=N       worker threads per run, 0 = all cores (default 0)\n"
     "  --retry-ms=N      retry hint sent with REJECT (default 200)\n"
+    "  --quarantine=N    consecutive executor crashes before a spec is\n"
+    "                    quarantined, 0 disables (default 3)\n"
+    "  --faults=SPEC     arm fault-injection points (testing/incident\n"
+    "                    repro; same syntax as RDCN_FAULTS — see\n"
+    "                    common/fault.hpp)\n"
     "  --help            this text\n"
     "\n"
-    "protocol: PING | RUN <spec> | CANCEL <id> | STATS | SHUTDOWN\n"
+    "protocol: PING | RUN <spec> [deadline_ms=<n>] | CANCEL <id> | STATS |\n"
+    "          SHUTDOWN\n"
     "see README.md ('Serving mode') for the full cookbook.\n";
 
 }  // namespace
@@ -54,8 +62,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = flags.unknown_flags(
-      {"socket", "queue", "executors", "cache", "threads", "retry-ms",
-       "help"});
+      {"socket", "queue", "executors", "cache", "disk-cache", "threads",
+       "retry-ms", "quarantine", "faults", "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
     std::cerr << "\n" << kUsage;
@@ -68,9 +76,12 @@ int main(int argc, char** argv) {
     options.queue_limit = flags.get_uint("queue", 16);
     options.executors = flags.get_uint("executors", 2);
     options.cache_entries = flags.get_uint("cache", 64);
+    options.disk_cache_dir = flags.get("disk-cache", "");
     options.threads = flags.get_uint("threads", 0);
     options.retry_hint_ms =
         static_cast<std::uint32_t>(flags.get_uint("retry-ms", 200));
+    options.quarantine_threshold = flags.get_uint("quarantine", 3);
+    options.faults = flags.get("faults", "");
 
     serve::Daemon daemon(options);
     daemon.start();

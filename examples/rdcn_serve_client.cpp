@@ -44,29 +44,28 @@ constexpr const char* kUsage =
     "                  an equivalent spec reports cached=1\n"
     "  --csv=FILE      write the first run's CSV payload to FILE\n"
     "  --csv2=FILE     write the second run's CSV payload to FILE\n"
+    "  --deadline-ms=N ask the daemon to abandon a run N ms after\n"
+    "                  admission (DONE status=deadline_exceeded)\n"
+    "  --retries=N     total submission attempts through REJECT\n"
+    "                  backpressure and transient disconnects (default 5)\n"
     "  --quiet         suppress CHECKPOINT progress echo\n"
     "  --help          this text\n";
 
-/// Runs one spec to completion; returns false when the run didn't finish
-/// with status ok.
+/// Runs one spec to completion (with the client library's bounded
+/// retry/backoff loop); returns false when the run didn't finish with
+/// status ok.
 bool run_spec(serve::Client& client, const std::string& spec,
-              const std::string& csv_path, bool quiet) {
-  const serve::Client::Submission sub = client.submit(spec);
-  if (!sub.error.empty()) {
-    std::cerr << "error: " << sub.error << "\n";
-    return false;
-  }
-  if (sub.rejected) {
-    std::cerr << "rejected: queue full, retry in " << sub.retry_ms << " ms\n";
-    return false;
-  }
-  const serve::Client::RunOutput out = client.collect(
-      sub.id, [quiet](const std::string& line) {
+              const std::string& csv_path, bool quiet,
+              const serve::Client::RetryPolicy& policy,
+              std::uint64_t deadline_ms) {
+  const serve::Client::RunOutput out = client.run_scenario(
+      spec, policy, deadline_ms, [quiet](const std::string& line) {
         if (!quiet) std::cout << line << "\n";
       });
   std::cout << "run: status=" << out.status
             << " cached=" << (out.cached ? 1 : 0)
-            << " checkpoints=" << out.checkpoints << "\n";
+            << " checkpoints=" << out.checkpoints
+            << " attempts=" << out.attempts << "\n";
   if (out.status != "ok") {
     if (!out.error.empty()) std::cerr << "error: " << out.error << "\n";
     return false;
@@ -92,7 +91,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = flags.unknown_flags(
-      {"socket", "daemon", "spec", "spec2", "csv", "csv2", "quiet", "help"});
+      {"socket", "daemon", "spec", "spec2", "csv", "csv2", "deadline-ms",
+       "retries", "quiet", "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
     std::cerr << "\n" << kUsage;
@@ -125,11 +125,16 @@ int main(int argc, char** argv) {
     client.ping();
 
     const bool quiet = flags.get_bool("quiet", false);
+    serve::Client::RetryPolicy policy;
+    policy.max_attempts = flags.get_uint("retries", 5);
+    const std::uint64_t deadline_ms = flags.get_uint("deadline-ms", 0);
     if (flags.has("spec") &&
-        !run_spec(client, flags.get("spec"), flags.get("csv", ""), quiet))
+        !run_spec(client, flags.get("spec"), flags.get("csv", ""), quiet,
+                  policy, deadline_ms))
       exit_code = 1;
     if (exit_code == 0 && flags.has("spec2") &&
-        !run_spec(client, flags.get("spec2"), flags.get("csv2", ""), quiet))
+        !run_spec(client, flags.get("spec2"), flags.get("csv2", ""), quiet,
+                  policy, deadline_ms))
       exit_code = 1;
 
     if (daemon_pid > 0) client.shutdown_daemon();

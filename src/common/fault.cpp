@@ -1,0 +1,164 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/param_map.hpp"
+#include "common/rng.hpp"
+
+namespace rdcn::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct PointState {
+  Trigger trigger;
+  SplitMix64 rng{0};
+  std::uint64_t evals = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Registry mutex + map.  Only touched once something is armed (the
+/// disabled fast path never gets here), so an ordered map keeps
+/// armed_points() trivial and contention is irrelevant.
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, PointState>& registry() {
+  static std::map<std::string, PointState> points;
+  return points;
+}
+
+/// Uniform draw in [0,1) from the point's stream.
+double next_unit(SplitMix64& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool should_fire(const char* point) {
+  const std::lock_guard<std::mutex> lock(registry_mu());
+  const auto it = registry().find(point);
+  if (it == registry().end()) return false;
+  PointState& state = it->second;
+  const std::uint64_t eval = state.evals++;
+  if (eval < state.trigger.after) return false;
+  if (state.fires >= state.trigger.times) return false;
+  if (state.trigger.probability < 1.0 &&
+      next_unit(state.rng) >= state.trigger.probability)
+    return false;
+  ++state.fires;
+  return true;
+}
+
+}  // namespace detail
+
+void arm(const std::string& point, const Trigger& trigger) {
+  const std::lock_guard<std::mutex> lock(registry_mu());
+  PointState state;
+  state.trigger = trigger;
+  state.rng = SplitMix64(trigger.seed);
+  registry().insert_or_assign(point, state);
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void disarm(const std::string& point) {
+  const std::lock_guard<std::mutex> lock(registry_mu());
+  registry().erase(point);
+  if (registry().empty())
+    detail::g_armed.store(false, std::memory_order_release);
+}
+
+void disarm_all() {
+  const std::lock_guard<std::mutex> lock(registry_mu());
+  registry().clear();
+  detail::g_armed.store(false, std::memory_order_release);
+}
+
+void arm_from_spec(const std::string& spec) {
+  // faults := point ['=' trigger (',' trigger)*] (';' point ...)*
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    const std::string name = item.substr(0, eq);
+    if (name.empty())
+      throw SpecError("fault spec '" + item + "': empty point name");
+    Trigger trigger;
+    if (eq != std::string::npos) {
+      std::size_t tpos = eq + 1;
+      while (tpos <= item.size()) {
+        std::size_t tend = item.find(',', tpos);
+        if (tend == std::string::npos) tend = item.size();
+        const std::string part = item.substr(tpos, tend - tpos);
+        tpos = tend + 1;
+        const std::size_t colon = part.find(':');
+        if (colon == std::string::npos)
+          throw SpecError("fault trigger '" + part +
+                          "' is not key:value (after/times/p/seed)");
+        const std::string key = part.substr(0, colon);
+        const std::string value = part.substr(colon + 1);
+        // ParamMap's strict numeric parsers give uniform error text.
+        ParamMap one;
+        one.set(key, value);
+        if (key == "after") {
+          trigger.after = one.get<std::uint64_t>("after");
+        } else if (key == "times") {
+          trigger.times = one.get<std::uint64_t>("times");
+        } else if (key == "p") {
+          trigger.probability = one.get<double>("p");
+          if (trigger.probability < 0.0 || trigger.probability > 1.0)
+            throw SpecError("fault trigger p=" + value +
+                            " must be in [0,1]");
+        } else if (key == "seed") {
+          trigger.seed = one.get<std::uint64_t>("seed");
+        } else {
+          throw SpecError("unknown fault trigger '" + key +
+                          "'; known: after, times, p, seed");
+        }
+        if (tend == item.size()) break;
+      }
+    }
+    arm(name, trigger);
+  }
+}
+
+void arm_from_env() {
+  const char* spec = std::getenv("RDCN_FAULTS");
+  if (spec != nullptr && *spec != '\0') arm_from_spec(spec);
+}
+
+std::uint64_t fire_count(const std::string& point) {
+  const std::lock_guard<std::mutex> lock(registry_mu());
+  const auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.fires;
+}
+
+std::uint64_t eval_count(const std::string& point) {
+  const std::lock_guard<std::mutex> lock(registry_mu());
+  const auto it = registry().find(point);
+  return it == registry().end() ? 0 : it->second.evals;
+}
+
+std::vector<std::string> armed_points() {
+  const std::lock_guard<std::mutex> lock(registry_mu());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, state] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace rdcn::fault

@@ -4,24 +4,30 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
-#include "common/param_map.hpp"
+#include "common/rng.hpp"
 #include "serve/protocol.hpp"
 
 namespace rdcn::serve {
 
 namespace {
 
-/// Generous per-read timeout: a healthy run emits a CHECKPOINT at least
-/// every requests/checkpoints chunk, so minutes of silence means the
-/// daemon died — better a clear error than a hung client.
-constexpr long kReadTimeoutSeconds = 600;
+/// Mirror of the daemon's reader-side cap; a daemon streaming a longer
+/// line is misbehaving, not slow.
+constexpr std::size_t kMaxLineBytes = 1u << 20;
 
-int connect_once(const sockaddr_un& addr) {
+void apply_read_timeout(int fd, long seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+int connect_once(const sockaddr_un& addr, long read_timeout_seconds) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return -1;
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
@@ -29,9 +35,7 @@ int connect_once(const sockaddr_un& addr) {
     ::close(fd);
     return -1;
   }
-  timeval tv{};
-  tv.tv_sec = kReadTimeoutSeconds;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  apply_read_timeout(fd, read_timeout_seconds);
   return fd;
 }
 
@@ -55,11 +59,12 @@ void Client::connect(const std::string& socket_path, int timeout_ms) {
     throw SpecError("socket path '" + socket_path +
                     "' is empty or too long for AF_UNIX");
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  socket_path_ = socket_path;
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   while (true) {
-    fd_ = connect_once(addr);
+    fd_ = connect_once(addr, read_timeout_seconds_);
     if (fd_ >= 0) return;
     // ENOENT/ECONNREFUSED while the daemon is still starting up.
     if (std::chrono::steady_clock::now() >= deadline)
@@ -67,6 +72,12 @@ void Client::connect(const std::string& socket_path, int timeout_ms) {
                       "': " + std::strerror(errno));
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+}
+
+void Client::reconnect(int timeout_ms) {
+  if (socket_path_.empty())
+    throw SpecError("reconnect before any connect()");
+  connect(socket_path_, timeout_ms);
 }
 
 void Client::send_line(const std::string& line) {
@@ -78,7 +89,9 @@ void Client::send_line(const std::string& line) {
                              MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      throw SpecError(std::string("send failed: ") + std::strerror(errno));
+      throw TransportError(TransportError::Kind::kIo,
+                           std::string("send failed: ") +
+                               std::strerror(errno));
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -94,14 +107,29 @@ std::string Client::read_line() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    if (buffer_.size() > kMaxLineBytes)
+      throw TransportError(TransportError::Kind::kIo,
+                           "daemon sent a line longer than " +
+                               std::to_string(kMaxLineBytes) + " bytes");
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n == 0) throw SpecError("daemon closed the connection");
+    // The three failure shapes stay distinguishable: orderly EOF means
+    // the daemon is gone (reconnect+resubmit can help), a timeout means
+    // it is merely slow or wedged (retrying just piles on), and a hard
+    // error is a broken transport.
+    if (n == 0)
+      throw TransportError(TransportError::Kind::kEof,
+                           "daemon closed the connection (EOF)");
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK)
-        throw SpecError("timed out waiting for the daemon");
-      throw SpecError(std::string("recv failed: ") + std::strerror(errno));
+        throw TransportError(
+            TransportError::Kind::kTimeout,
+            "timed out waiting for the daemon (no bytes in " +
+                std::to_string(read_timeout_seconds_) + "s)");
+      throw TransportError(TransportError::Kind::kIo,
+                           std::string("recv failed: ") +
+                               std::strerror(errno));
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
@@ -114,8 +142,12 @@ void Client::ping() {
     throw SpecError("unexpected PING reply: " + reply);
 }
 
-Client::Submission Client::submit(const std::string& spec) {
-  send_line("RUN " + spec);
+Client::Submission Client::submit(const std::string& spec,
+                                  std::uint64_t deadline_ms) {
+  std::string line = "RUN " + spec;
+  if (deadline_ms > 0)
+    line += " deadline_ms=" + std::to_string(deadline_ms);
+  send_line(line);
   Submission out;
   const ServerLine reply = parse_server_line(read_line());
   switch (reply.kind) {
@@ -173,6 +205,72 @@ Client::RunOutput Client::collect(
   }
 }
 
+Client::RunOutput Client::run_scenario(
+    const std::string& spec, const RetryPolicy& policy,
+    std::uint64_t deadline_ms,
+    const std::function<void(const std::string& line)>& on_checkpoint) {
+  // Deterministic jitter stream; seed 0 decorrelates by process identity
+  // so a fleet of default-policy clients doesn't thunder in lockstep.
+  SplitMix64 jitter(policy.jitter_seed != 0
+                        ? policy.jitter_seed
+                        : 0x9e3779b97f4a7c15ULL ^
+                              static_cast<std::uint64_t>(::getpid()));
+  std::uint64_t backoff_ms = policy.base_backoff_ms;
+  std::string last_failure = "never submitted";
+
+  const auto sleep_with_jitter = [&](std::uint64_t delay_ms) {
+    // Full delay shrunk into [delay/2, delay]: bounded above by the
+    // backoff cap, spread out enough to decorrelate retry storms.
+    const std::uint64_t half = delay_ms / 2;
+    const std::uint64_t span = delay_ms - half + 1;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(half + jitter.next() % span));
+  };
+
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    const auto bump_backoff = [&] {
+      backoff_ms = std::min<std::uint64_t>(backoff_ms * 2,
+                                           policy.max_backoff_ms);
+    };
+    try {
+      if (!connected()) reconnect(policy.reconnect_timeout_ms);
+      const Submission sub = submit(spec, deadline_ms);
+      if (!sub.error.empty()) {
+        // Refused (bad spec, quarantined): permanent, don't burn retries.
+        RunOutput out;
+        out.status = "error";
+        out.error = sub.error;
+        out.attempts = attempt;
+        return out;
+      }
+      if (sub.rejected) {
+        last_failure = "rejected (queue full, retry_ms=" +
+                       std::to_string(sub.retry_ms) + ")";
+        sleep_with_jitter(
+            std::max<std::uint64_t>(sub.retry_ms, backoff_ms));
+        bump_backoff();
+        continue;
+      }
+      RunOutput out = collect(sub.id, on_checkpoint);
+      out.attempts = attempt;
+      return out;
+    } catch (const TransportError& e) {
+      if (e.kind() == TransportError::Kind::kTimeout)
+        throw;  // daemon is slow/wedged, not gone — retrying piles on
+      // kEof/kIo: the daemon (or our connection) went away mid-run.
+      // Reconnect and resubmit; a run that completed server-side is
+      // answered from the results cache, so no work is repeated.
+      last_failure = e.what();
+      disconnect();
+      sleep_with_jitter(backoff_ms);
+      bump_backoff();
+    }
+  }
+  throw SpecError("run_scenario gave up after " +
+                  std::to_string(policy.max_attempts) +
+                  " attempts; last failure: " + last_failure);
+}
+
 bool Client::cancel(std::uint64_t id) {
   // While a run is streaming, prefer send_line("CANCEL <id>") and let
   // collect() skip the CANCELLING ack — this helper reads its own reply,
@@ -196,6 +294,13 @@ std::string Client::stats() {
     if (line.kind == ServerLine::Kind::kCheckpoint) continue;
     throw SpecError("unexpected STATS reply");
   }
+}
+
+StatsReport Client::stats_report() { return parse_stats(stats()); }
+
+void Client::set_read_timeout_seconds(long seconds) {
+  read_timeout_seconds_ = seconds;
+  if (fd_ >= 0) apply_read_timeout(fd_, seconds);
 }
 
 void Client::shutdown_daemon() {

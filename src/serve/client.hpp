@@ -3,8 +3,20 @@
 // Thin and synchronous by design — one connection, one in-flight run at a
 // time: submit() sends RUN and reads the admission verdict; collect()
 // then consumes that run's CHECKPOINT stream, RESULT payload, and DONE
-// line.  Used by the rdcn_serve_client binary, the e2e smoke check, and
-// the serve test suite; also a readable reference for writing clients in
+// line.  run_scenario() wraps the pair in a bounded retry loop: REJECT
+// backpressure is honored (server retry hint + exponential backoff with
+// deterministic jitter) and transient disconnects are survived by
+// reconnecting and resubmitting — a completed run's resubmission is
+// answered from the daemon's results cache, so retries don't recompute.
+//
+// Transport failures throw TransportError, whose kind() distinguishes the
+// daemon being *gone* (kEof: orderly close; kIo: hard socket error) from
+// the daemon being *slow* (kTimeout: no bytes within the read timeout).
+// The retry loop reconnects through the first two and rethrows the third
+// — retrying against a wedged daemon would only pile up work.
+//
+// Used by the rdcn_serve_client binary, the e2e smoke check, and the
+// serve test suites; also a readable reference for writing clients in
 // other languages.
 #pragma once
 
@@ -12,7 +24,28 @@
 #include <functional>
 #include <string>
 
+#include "common/param_map.hpp"
+#include "serve/protocol.hpp"
+
 namespace rdcn::serve {
+
+/// A socket-level failure talking to the daemon.  Subtype of SpecError so
+/// existing catch sites keep working; kind() lets retry logic react
+/// differently to "daemon gone" vs "daemon slow".
+class TransportError : public SpecError {
+ public:
+  enum class Kind {
+    kEof,      ///< daemon closed the connection (orderly EOF)
+    kTimeout,  ///< no bytes within the read timeout (daemon slow or hung)
+    kIo,       ///< send/recv failed outright (connection reset, ...)
+  };
+  TransportError(Kind kind, const std::string& message)
+      : SpecError(message), kind_(kind) {}
+  Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
 
 class Client {
  public:
@@ -24,8 +57,12 @@ class Client {
 
   /// Connects to the daemon's AF_UNIX socket, retrying (the daemon may
   /// still be binding) until `timeout_ms` elapses.  Throws SpecError on
-  /// failure.
+  /// failure.  The path is remembered for reconnect().
   void connect(const std::string& socket_path, int timeout_ms = 10'000);
+
+  /// Re-dials the last connect()ed socket path (run_scenario's disconnect
+  /// recovery).  Throws SpecError when never connected.
+  void reconnect(int timeout_ms = 10'000);
 
   bool connected() const noexcept { return fd_ >= 0; }
   void disconnect();
@@ -42,21 +79,53 @@ class Client {
     std::uint32_t retry_ms = 0;   ///< suggested resubmit delay when rejected
     std::string error;            ///< non-empty when the spec was refused
   };
-  Submission submit(const std::string& spec);
+  /// `deadline_ms` > 0 asks the daemon to abandon the run (DONE
+  /// status=deadline_exceeded) that many milliseconds after admission.
+  Submission submit(const std::string& spec, std::uint64_t deadline_ms = 0);
 
   /// Everything after admission, up to the run's DONE line.
   struct RunOutput {
-    std::string status;        ///< "ok" | "cancelled" | "error"
-    bool cached = false;       ///< payload replayed from the results cache
-    std::string csv;           ///< CSV payload (empty unless status "ok")
+    std::string status;     ///< "ok" | "cancelled" | "deadline_exceeded"
+                            ///< | "error"
+    bool cached = false;    ///< payload replayed from the results cache
+    std::string csv;        ///< CSV payload (empty unless status "ok")
     std::size_t checkpoints = 0;  ///< progress lines seen
-    std::string error;         ///< ERROR text when status "error"
+    std::string error;      ///< ERROR text when status "error"
+    std::size_t attempts = 1;  ///< run_scenario: submissions made in total
   };
   /// Reads run `id` to completion.  `on_checkpoint` (optional) sees each
   /// raw CHECKPOINT line as it streams in.
   RunOutput collect(std::uint64_t id,
                     const std::function<void(const std::string& line)>&
                         on_checkpoint = {});
+
+  /// Retry policy for run_scenario: attempt k (0-based) backs off
+  /// max(server retry hint, base_backoff_ms·2^k) capped at
+  /// max_backoff_ms, then sleeps a uniformly jittered span in
+  /// [delay/2, delay] drawn from a SplitMix64 stream seeded with
+  /// jitter_seed — deterministic for tests, decorrelated in a fleet.
+  struct RetryPolicy {
+    std::size_t max_attempts = 5;        ///< total submissions before giving up
+    std::uint32_t base_backoff_ms = 50;
+    std::uint32_t max_backoff_ms = 2'000;
+    std::uint64_t jitter_seed = 0;       ///< 0 = derive from this process
+    int reconnect_timeout_ms = 2'000;    ///< per reconnect attempt
+  };
+
+  /// Submits `spec` and collects it to completion, retrying through
+  /// REJECT backpressure and transient disconnects per `policy`.
+  /// Spec refusals (ERROR before ACCEPTED) return status "error"
+  /// immediately — they are permanent, retrying cannot help.  Throws
+  /// TransportError(kTimeout) when the daemon goes silent mid-run, and
+  /// SpecError when max_attempts is exhausted.
+  RunOutput run_scenario(const std::string& spec,
+                         const RetryPolicy& policy,
+                         std::uint64_t deadline_ms = 0,
+                         const std::function<void(const std::string& line)>&
+                             on_checkpoint = {});
+  RunOutput run_scenario(const std::string& spec) {
+    return run_scenario(spec, RetryPolicy{});
+  }
 
   /// Requests cancellation of a queued or running run.  Returns true when
   /// the daemon acknowledged (CANCELLING); false when the id was unknown.
@@ -66,18 +135,32 @@ class Client {
 
   /// The daemon's one-line STATS report, verbatim.
   std::string stats();
+  /// The same report parsed (serve/protocol.hpp StatsReport fields).
+  StatsReport stats_report();
 
   /// Sends SHUTDOWN and waits for BYE.  The daemon finishes tearing down
   /// after the socket closes.
   void shutdown_daemon();
 
+  /// Per-read silence budget before read_line throws
+  /// TransportError(kTimeout).  Default 600 s — a healthy run checkpoints
+  /// far more often than that.  Applies to the current connection
+  /// immediately and to future (re)connects.  Tests shrink it to exercise
+  /// the timeout path without waiting minutes.
+  void set_read_timeout_seconds(long seconds);
+
   // Low-level access (used by tests to speak the protocol directly).
   void send_line(const std::string& line);
-  std::string read_line();  ///< throws SpecError on EOF/timeout
+  /// Next line from the daemon.  Throws TransportError — kEof on orderly
+  /// close, kTimeout on read-timeout expiry, kIo on socket errors — so
+  /// callers can tell "daemon gone" from "daemon slow".
+  std::string read_line();
 
  private:
   int fd_ = -1;
-  std::string buffer_;  ///< bytes received beyond the last full line
+  std::string buffer_;       ///< bytes received beyond the last full line
+  std::string socket_path_;  ///< last connect() target, for reconnect()
+  long read_timeout_seconds_ = 600;
 };
 
 }  // namespace rdcn::serve

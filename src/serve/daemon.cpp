@@ -7,10 +7,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <iostream>
 #include <sstream>
 #include <utility>
 
 #include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/param_map.hpp"
 #include "scenario/scenario.hpp"
 #include "serve/protocol.hpp"
@@ -19,6 +21,11 @@
 namespace rdcn::serve {
 
 namespace {
+
+/// Reader-side line cap: a client streaming bytes without a newline is
+/// malformed (or malicious); past this the connection is refused instead
+/// of growing the buffer without bound.
+constexpr std::size_t kMaxLineBytes = 1u << 20;
 
 /// Builds the sockaddr for `path`; throws SpecError when it doesn't fit
 /// sun_path (a hard AF_UNIX limit, typically 108 bytes).
@@ -60,13 +67,25 @@ struct Daemon::Connection {
   void send_line(const std::string& line) { send_raw(line + "\n"); }
 
   /// One atomic write unit: concurrent writers (command replies, other
-  /// runs' progress lines) can't interleave inside it.
+  /// runs' progress lines) can't interleave inside it.  Fault points
+  /// simulate a slow consumer (stall), a peer disconnect (drop), and a
+  /// torn send (short_write) — the latter two leave the connection broken
+  /// exactly like the real failures they stand in for.
   void send_raw(const std::string& bytes) {
     const std::lock_guard<std::mutex> lock(write_mu);
     if (broken.load(std::memory_order_relaxed)) return;
+    if (fault::fire("serve.send.stall"))
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    if (fault::fire("serve.send.drop")) {
+      broken.store(true, std::memory_order_relaxed);
+      shutdown_socket();
+      return;
+    }
+    std::size_t limit = bytes.size();
+    if (fault::fire("serve.send.short_write") && limit > 1) limit /= 2;
     std::size_t sent = 0;
-    while (sent < bytes.size()) {
-      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+    while (sent < limit) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, limit - sent,
                                MSG_NOSIGNAL);
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
@@ -74,6 +93,12 @@ struct Daemon::Connection {
         return;
       }
       sent += static_cast<std::size_t>(n);
+    }
+    if (limit < bytes.size()) {
+      // Injected short write: line framing on this socket is gone for
+      // good, so the connection is broken from here on.
+      broken.store(true, std::memory_order_relaxed);
+      shutdown_socket();
     }
   }
 
@@ -92,15 +117,24 @@ struct Daemon::RunTask {
   scenario::ScenarioSpec spec;
   std::string canonical;
   CancelToken cancel = CancelToken::make();
+  /// Set by the watchdog before firing `cancel`, so the terminal DONE
+  /// distinguishes deadline_exceeded from a client CANCEL.
+  std::atomic<bool> deadline_fired{false};
   std::shared_ptr<Connection> conn;
 };
 
 Daemon::Daemon(ServeOptions options)
-    : options_(std::move(options)), cache_(options_.cache_entries) {}
+    : options_(std::move(options)),
+      cache_(options_.cache_entries),
+      disk_cache_(options_.disk_cache_dir) {}
 
 Daemon::~Daemon() { stop(); }
 
 void Daemon::start() {
+  // Fault points configured for this daemon (tests, incident repro); the
+  // env hook lets a spawned daemon be armed from outside.
+  fault::arm_from_spec(options_.faults);
+  fault::arm_from_env();
   const sockaddr_un addr = make_address(options_.socket_path);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
@@ -117,6 +151,7 @@ void Daemon::start() {
   }
   started_ = true;
   accept_thread_ = std::thread(&Daemon::accept_loop, this);
+  watchdog_thread_ = std::thread(&Daemon::watchdog_loop, this);
   for (std::size_t i = 0; i < options_.executors; ++i)
     executors_.emplace_back(&Daemon::executor_loop, this);
 }
@@ -127,8 +162,8 @@ void Daemon::stop() {
     cv_shutdown_.notify_all();
     return;
   }
-  // Unblock accept(), then every blocked reader and executor; cancel all
-  // queued/running work so executors drain fast.
+  // Unblock accept(), then every blocked reader, executor, and the
+  // watchdog; cancel all queued/running work so executors drain fast.
   ::shutdown(listen_fd_, SHUT_RDWR);
   std::vector<std::shared_ptr<Connection>> conns;
   {
@@ -138,7 +173,9 @@ void Daemon::stop() {
   }
   for (auto& conn : conns) conn->shutdown_socket();
   cv_exec_.notify_all();
+  cv_deadline_.notify_all();
   accept_thread_.join();
+  watchdog_thread_.join();
   // accept_loop has exited, so conn_threads_ is final now.
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -157,6 +194,29 @@ void Daemon::wait_for_shutdown_command() {
   cv_shutdown_.wait(lock, [&] { return shutdown_requested_ || stopping_; });
 }
 
+StatsReport Daemon::stats_report() const {
+  StatsReport r;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    r.active = running_;
+    r.queued = queue_.size();
+    r.completed = counters_.completed;
+    r.cancelled = counters_.cancelled;
+    r.deadline_exceeded = counters_.deadline_exceeded;
+    r.crashed = counters_.crashed;
+    r.rejected = counters_.rejected;
+    r.quarantined = counters_.quarantined;
+  }
+  const ResultsCache::Stats cache = cache_.stats();
+  r.cache_hits = cache.hits;
+  r.cache_misses = cache.misses;
+  r.cache_entries = cache.entries;
+  const DiskCache::Stats disk = disk_cache_.stats();
+  r.disk_hits = disk.hits;
+  r.disk_corrupt = disk.corrupt_skipped;
+  return r;
+}
+
 void Daemon::accept_loop() {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -171,8 +231,15 @@ void Daemon::accept_loop() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     auto conn = std::make_shared<Connection>(fd);
     const std::lock_guard<std::mutex> lock(mu_);
+    reap_finished_readers_locked();
     conns_.push_back(conn);
-    conn_threads_.emplace_back(&Daemon::connection_loop, this, conn);
+    // The reader drops its own reference before idling unjoined, so the
+    // client's fd closes as soon as the last in-flight run lets go — not
+    // at the next accept (when the thread object is reaped).
+    conn_threads_.emplace_back([this, c = std::move(conn)]() mutable {
+      const std::shared_ptr<Connection> local = std::move(c);
+      connection_loop(local);
+    });
   }
 }
 
@@ -195,13 +262,37 @@ void Daemon::connection_loop(const std::shared_ptr<Connection>& conn) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (!line.empty()) open = handle_command(conn, line);
     }
+    if (open && buffer.size() > kMaxLineBytes) {
+      // A newline-free stream past the cap: refuse and hang up rather
+      // than buffering without limit.
+      conn->send_line(msg_error("reason=line_too_long limit_bytes=" +
+                                std::to_string(kMaxLineBytes)));
+      break;
+    }
   }
   conn->broken.store(true, std::memory_order_relaxed);
   conn->shutdown_socket();
-  // Nobody is left to receive this client's results; release its slots.
+  // Nobody is left to receive this client's results; release its slots,
+  // drop the daemon's reference to the connection (the fd closes once the
+  // last in-flight task lets go), and queue this thread for reaping so a
+  // long-lived daemon doesn't accumulate dead readers.
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, task] : active_)
     if (task->conn == conn) task->cancel.request_cancel();
+  std::erase(conns_, conn);
+  finished_readers_.push_back(std::this_thread::get_id());
+}
+
+void Daemon::reap_finished_readers_locked() {
+  for (const std::thread::id id : finished_readers_) {
+    for (auto it = conn_threads_.begin(); it != conn_threads_.end(); ++it) {
+      if (it->get_id() != id) continue;
+      it->join();  // the thread already reached its final statement
+      conn_threads_.erase(it);
+      break;
+    }
+  }
+  finished_readers_.clear();
 }
 
 bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
@@ -212,7 +303,7 @@ bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
       conn->send_line(msg_pong());
       return true;
     case Command::Kind::kRun:
-      handle_run(conn, cmd.spec);
+      handle_run(conn, cmd);
       return true;
     case Command::Kind::kCancel: {
       CancelToken token;
@@ -230,18 +321,9 @@ bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
       }
       return true;
     }
-    case Command::Kind::kStats: {
-      std::size_t running, queued;
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        running = running_;
-        queued = queue_.size();
-      }
-      const ResultsCache::Stats stats = cache_.stats();
-      conn->send_line(msg_stats(running, queued, stats.hits, stats.misses,
-                                stats.entries));
+    case Command::Kind::kStats:
+      conn->send_line(msg_stats(stats_report()));
       return true;
-    }
     case Command::Kind::kShutdown: {
       conn->send_line(msg_bye());
       {
@@ -259,11 +341,11 @@ bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
 }
 
 void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
-                        const std::string& spec_text) {
+                        const Command& cmd) {
   scenario::ScenarioSpec spec;
   std::string canonical;
   try {
-    spec = scenario::ScenarioSpec::parse(spec_text);
+    spec = scenario::ScenarioSpec::parse(cmd.spec);
     const scenario::ScenarioSpec resolved = spec.resolved();
     scenario::TopologyRegistry::instance().validate(resolved.topology);
     scenario::WorkloadRegistry::instance().validate(resolved.workload);
@@ -277,6 +359,33 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  // Quarantine: a spec that keeps crashing executors is fast-failed at
+  // admission instead of being given another executor to wedge.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = crash_streaks_.find(canonical);
+    if (options_.quarantine_threshold > 0 && it != crash_streaks_.end() &&
+        it->second >= options_.quarantine_threshold) {
+      ++counters_.quarantined;
+      conn->send_line(msg_error(
+          "reason=quarantined consecutive_failures=" +
+          std::to_string(it->second) +
+          " spec is quarantined after repeated executor crashes"));
+      return;
+    }
+  }
+
+  // Injected admission failure: exercises the client's REJECT/backoff
+  // path without actually filling the queue.
+  if (fault::fire("serve.admit.reject")) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.rejected;
+    }
+    conn->send_line(msg_reject(options_.retry_hint_ms));
+    return;
+  }
+
   std::uint64_t id;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -284,8 +393,19 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
   }
 
   // A cache hit bypasses admission entirely — replaying stored bytes is
-  // cheap, so cached runs are never rejected for backpressure.
-  if (std::optional<std::string> payload = cache_.get(canonical)) {
+  // cheap, so cached runs are never rejected for backpressure.  The
+  // in-memory LRU is consulted first, then the persistent store (which a
+  // restarted daemon repopulates the LRU from).
+  std::optional<std::string> payload = cache_.get(canonical);
+  if (!payload) {
+    payload = disk_cache_.get(canonical);
+    if (payload) cache_.put(canonical, *payload);
+  }
+  if (payload) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.completed;
+    }
     conn->send_line(msg_accepted(id));
     send_payload(*conn, id, /*cached=*/true, *payload);
     conn->send_line(msg_done(id, "ok"));
@@ -303,11 +423,20 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
     // exist yet).  The write is a few bytes to a local socket.
     const std::lock_guard<std::mutex> lock(mu_);
     if (queue_.size() >= options_.queue_limit) {
+      ++counters_.rejected;
       conn->send_line(msg_reject(options_.retry_hint_ms));
       return;
     }
     conn->send_line(msg_accepted(id));
     queue_.push_back(task);
+    if (cmd.deadline_ms > 0) {
+      // Deadline counts from admission: queue wait is the daemon's
+      // problem, not the client's.
+      deadlines_.emplace(std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(cmd.deadline_ms),
+                         task);
+      cv_deadline_.notify_one();
+    }
     active_.emplace(id, std::move(task));
   }
   cv_exec_.notify_one();
@@ -334,8 +463,41 @@ void Daemon::executor_loop() {
 }
 
 void Daemon::execute(const std::shared_ptr<RunTask>& task) {
+  // Ends the run with DONE status cancelled/deadline_exceeded, whichever
+  // the token firing meant.
+  // Counters are bumped BEFORE the DONE line goes out: a client that
+  // reads DONE and immediately asks STATS must see its run counted.
+  const auto finish_cancelled = [&] {
+    const bool deadline =
+        task->deadline_fired.load(std::memory_order_acquire);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (deadline)
+        ++counters_.deadline_exceeded;
+      else
+        ++counters_.cancelled;
+    }
+    task->conn->send_line(
+        msg_done(task->id, deadline ? "deadline_exceeded" : "cancelled"));
+  };
+  // Non-SpecError escaped the run (a bug, or an injected crash): report,
+  // count, and extend the spec's crash streak — the executor survives.
+  const auto finish_crashed = [&](const std::string& what) {
+    task->conn->send_line(msg_error("internal=" + what));
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.crashed;
+      const std::size_t streak = ++crash_streaks_[task->canonical];
+      if (options_.quarantine_threshold > 0 &&
+          streak == options_.quarantine_threshold)
+        std::cerr << "rdcn_serve: quarantining spec after " << streak
+                  << " consecutive crashes: " << task->canonical << "\n";
+    }
+    task->conn->send_line(msg_done(task->id, "error"));
+  };
+
   if (task->cancel.cancelled()) {  // cancelled while still queued
-    task->conn->send_line(msg_done(task->id, "cancelled"));
+    finish_cancelled();
     return;
   }
   scenario::RunHooks hooks;
@@ -349,19 +511,62 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
     task->conn->send_line(msg_checkpoint(task->id, label, seed, checkpoint));
   };
   try {
+    if (fault::fire("serve.executor.crash"))
+      throw std::runtime_error("injected executor crash");
     const scenario::ScenarioResult result =
         scenario::run_scenario(task->spec, hooks);
     std::ostringstream csv;
     sim::write_csv(csv, result.runs, sim::Metric::kRoutingCost);
     const std::string payload = csv.str();
     cache_.put(task->canonical, payload);
+    disk_cache_.put(task->canonical, payload);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.completed;
+      crash_streaks_.erase(task->canonical);
+    }
     send_payload(*task->conn, task->id, /*cached=*/false, payload);
     task->conn->send_line(msg_done(task->id, "ok"));
   } catch (const CancelledError&) {
-    task->conn->send_line(msg_done(task->id, "cancelled"));
-  } catch (const std::exception& e) {
+    finish_cancelled();
+  } catch (const SpecError& e) {
+    // A spec problem the admission-time validators couldn't see — a
+    // refusal, not a crash: no streak, no quarantine.
     task->conn->send_line(msg_error(e.what()));
     task->conn->send_line(msg_done(task->id, "error"));
+  } catch (const std::exception& e) {
+    finish_crashed(e.what());
+  } catch (...) {
+    finish_crashed("unknown exception");
+  }
+}
+
+void Daemon::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (deadlines_.empty()) {
+      cv_deadline_.wait(lock);
+      continue;
+    }
+    const auto next = deadlines_.begin()->first;
+    if (std::chrono::steady_clock::now() < next) {
+      // Re-evaluate after the wait: an earlier deadline may have been
+      // armed, or stop() may have been requested.
+      cv_deadline_.wait_until(lock, next);
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+      if (const std::shared_ptr<RunTask> task =
+              deadlines_.begin()->second.lock()) {
+        // Mark before firing so the executor's CancelledError handler
+        // reads the right reason.  Firing after completion is harmless —
+        // the token is dead weight once DONE is out.
+        task->deadline_fired.store(true, std::memory_order_release);
+        task->cancel.request_cancel();
+      }
+      deadlines_.erase(deadlines_.begin());
+    }
   }
 }
 

@@ -8,7 +8,10 @@
 //
 // Execution model:
 //   * every connection gets a reader thread (commands are line-framed and
-//     cheap to parse; replies may interleave across runs, attributed by id);
+//     cheap to parse; replies may interleave across runs, attributed by
+//     id).  The per-connection read buffer is bounded: a newline-free
+//     stream past 1 MiB gets ERROR reason=line_too_long and the
+//     connection closed;
 //   * admitted runs wait in a bounded FIFO; submissions beyond the bound
 //     are rejected with a retry hint (backpressure) instead of queueing
 //     unboundedly;
@@ -17,19 +20,42 @@
 //     (trial parallelism) with a CancelToken threaded down to the
 //     simulator's serve-chunk loop — CANCEL stops a run within one
 //     4096-request chunk and frees its executor and pool slots;
+//   * RUN ... deadline_ms=<n> arms a monotonic-clock watchdog (one thread,
+//     earliest-deadline wakeups): a run still going n ms after admission
+//     is cancelled through the same cooperative token and reported as
+//     DONE status=deadline_exceeded;
 //   * completed CSV payloads land in an LRU ResultsCache keyed on
-//     ScenarioSpec::canonical_string(), so an equivalent spec (params in
-//     any order) is served from cache without re-running.
+//     ScenarioSpec::canonical_string(), and — when disk_cache_dir is set —
+//     in a crash-safe on-disk store (serve/disk_cache.hpp) that survives
+//     restarts: a restarted daemon serves previously completed specs with
+//     cached=1, bit-identical payloads.
 //
-// Invalid specs — parse failures, unknown components, bad parameters —
-// report as ERROR lines (SpecError text with registry suggestions); the
-// daemon never dies on client input.
+// Failure containment:
+//   * invalid specs — parse failures, unknown components, bad parameters —
+//     report as ERROR lines (SpecError text with registry suggestions);
+//     the daemon never dies on client input;
+//   * any non-SpecError escaping a run (a bug, an injected crash) is
+//     caught and reported as ERROR internal=<what> + DONE status=error;
+//     the executor thread survives.  A spec that crashes
+//     quarantine_threshold times consecutively is quarantined: further
+//     submissions fast-fail with ERROR reason=quarantined instead of
+//     re-wedging executors (a later success would clear the streak);
+//   * every outcome is counted and visible through STATS (completed /
+//     cancelled / deadline_exceeded / crashed / rejected / quarantined /
+//     disk-cache hits / corrupt entries skipped);
+//   * the common/fault.hpp injection points wrapped around socket sends,
+//     admission, executor launch, and disk-cache writes let tests force
+//     each of these paths deterministically (arm via ServeOptions::faults
+//     or the RDCN_FAULTS environment variable); unarmed they cost one
+//     relaxed atomic load.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,6 +63,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/disk_cache.hpp"
+#include "serve/protocol.hpp"
 #include "serve/results_cache.hpp"
 
 namespace rdcn::serve {
@@ -53,10 +81,19 @@ struct ServeOptions {
   std::size_t executors = 2;
   /// ResultsCache capacity in entries (0 disables caching).
   std::size_t cache_entries = 64;
+  /// Directory of the persistent on-disk results cache ("" disables).
+  /// Created if missing; corrupt entries are skipped at startup.
+  std::string disk_cache_dir;
   /// Worker threads per run's trial parallelism (0 = all cores).
   std::size_t threads = 0;
   /// Hint returned with REJECT responses.
   std::uint32_t retry_hint_ms = 200;
+  /// Consecutive executor crashes of one canonical spec before it is
+  /// quarantined (submissions fast-fail).  0 disables quarantining.
+  std::size_t quarantine_threshold = 3;
+  /// Fault-injection spec armed at start() (fault::arm_from_spec syntax);
+  /// "" arms nothing.  RDCN_FAULTS in the environment is applied too.
+  std::string faults;
 };
 
 class Daemon {
@@ -67,8 +104,9 @@ class Daemon {
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
-  /// Binds the socket and spawns the accept + executor threads.  Throws
-  /// SpecError when the socket cannot be created/bound.
+  /// Binds the socket, loads the disk cache, arms configured faults, and
+  /// spawns the accept + watchdog + executor threads.  Throws SpecError
+  /// when the socket cannot be created/bound.
   void start();
 
   /// Stops accepting, cancels every queued/running run, joins all
@@ -82,6 +120,9 @@ class Daemon {
 
   const ServeOptions& options() const noexcept { return options_; }
   ResultsCache::Stats cache_stats() const { return cache_.stats(); }
+  DiskCache::Stats disk_cache_stats() const { return disk_cache_.stats(); }
+  /// The same snapshot a STATS command reports.
+  StatsReport stats_report() const;
 
  private:
   struct Connection;
@@ -93,25 +134,50 @@ class Daemon {
   bool handle_command(const std::shared_ptr<Connection>& conn,
                       const std::string& line);
   void handle_run(const std::shared_ptr<Connection>& conn,
-                  const std::string& spec_text);
+                  const Command& cmd);
   void executor_loop();
   void execute(const std::shared_ptr<RunTask>& task);
+  void watchdog_loop();
+  /// Joins reader threads listed in finished_readers_ (caller holds mu_).
+  void reap_finished_readers_locked();
   void send_payload(Connection& conn, std::uint64_t id, bool cached,
                     const std::string& payload);
 
   ServeOptions options_;
   ResultsCache cache_;
+  DiskCache disk_cache_;
   int listen_fd_ = -1;
 
   mutable std::mutex mu_;
   std::condition_variable cv_exec_;      ///< executors wait for work
   std::condition_variable cv_shutdown_;  ///< owner waits for SHUTDOWN
+  std::condition_variable cv_deadline_;  ///< watchdog waits for deadlines
   std::deque<std::shared_ptr<RunTask>> queue_;
   /// Queued + running tasks by id (CANCEL looks up here); erased when the
   /// run reaches its DONE line.
   std::unordered_map<std::uint64_t, std::shared_ptr<RunTask>> active_;
+  /// Armed deadlines, earliest first; entries for finished runs expire
+  /// harmlessly (weak_ptr).
+  std::multimap<std::chrono::steady_clock::time_point,
+                std::weak_ptr<RunTask>>
+      deadlines_;
+  /// canonical spec → consecutive executor crashes (cleared on success).
+  std::unordered_map<std::string, std::size_t> crash_streaks_;
+  /// Terminal-outcome counters (guarded by mu_), surfaced via STATS.
+  struct Counters {
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t crashed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t quarantined = 0;
+  } counters_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> conn_threads_;
+  /// Reader threads that have exited (disconnected clients); their ids
+  /// wait here until accept_loop/stop() joins them, so neither thread
+  /// handles nor Connection fds accumulate over the daemon's lifetime.
+  std::vector<std::thread::id> finished_readers_;
   std::uint64_t next_id_ = 1;
   std::size_t running_ = 0;
   bool started_ = false;
@@ -119,6 +185,7 @@ class Daemon {
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+  std::thread watchdog_thread_;
   std::vector<std::thread> executors_;
 };
 

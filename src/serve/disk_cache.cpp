@@ -1,0 +1,228 @@
+#include "serve/disk_cache.hpp"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/fault.hpp"
+#include "common/param_map.hpp"
+
+namespace rdcn::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'D', 'C', '1'};
+constexpr const char* kEntrySuffix = ".rdc";
+constexpr const char* kTempSuffix = ".tmp";
+/// Entries above this are implausible (a CSV table is kilobytes) and
+/// rejected before any allocation — a corrupt length field must not make
+/// load() try to slurp 4 GB.
+constexpr std::uint32_t kMaxPartBytes = 64u << 20;
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string to_hex(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, value >>= 4) out[i] = kDigits[value & 0xf];
+  return out;
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((value >> (8 * i)) & 0xff));
+}
+
+std::uint32_t read_u32(const std::string& bytes, std::size_t pos) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i)
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[pos + static_cast<size_t>(i)]);
+  return value;
+}
+
+/// Serialized entry bytes for key+payload (the full file contents).
+std::string encode_entry(const std::string& key, const std::string& payload) {
+  std::string out;
+  out.reserve(12 + key.size() + payload.size() + 4);
+  out.append(kMagic, sizeof(kMagic));
+  append_u32(out, static_cast<std::uint32_t>(key.size()));
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += key;
+  out += payload;
+  std::uint32_t crc = crc32(key.data(), key.size());
+  crc = crc32(payload.data(), payload.size(), crc);
+  append_u32(out, crc);
+  return out;
+}
+
+/// Validates one serialized entry; on success fills key/payload.
+bool decode_entry(const std::string& bytes, std::string& key,
+                  std::string& payload) {
+  if (bytes.size() < 16) return false;
+  if (bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+    return false;
+  const std::uint32_t key_len = read_u32(bytes, 4);
+  const std::uint32_t payload_len = read_u32(bytes, 8);
+  if (key_len > kMaxPartBytes || payload_len > kMaxPartBytes) return false;
+  const std::uint64_t expected_size =
+      12ull + key_len + payload_len + 4ull;
+  if (bytes.size() != expected_size) return false;
+  key = bytes.substr(12, key_len);
+  payload = bytes.substr(12 + key_len, payload_len);
+  std::uint32_t crc = crc32(key.data(), key.size());
+  crc = crc32(payload.data(), payload.size(), crc);
+  return crc == read_u32(bytes, 12 + key_len + payload_len);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  return ~crc;
+}
+
+DiskCache::DiskCache(std::string directory)
+    : directory_(std::move(directory)) {
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec)
+    throw SpecError("cannot create disk-cache directory '" + directory_ +
+                    "': " + ec.message());
+  load();
+}
+
+void DiskCache::load() {
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(directory_, ec)) {
+    const std::string path = item.path().string();
+    const std::string name = item.path().filename().string();
+    if (!item.is_regular_file(ec)) continue;
+    if (name.size() >= 4 &&
+        name.compare(name.size() - 4, 4, kTempSuffix) == 0) {
+      // A crash between temp-write and rename; never visible, just litter.
+      fs::remove(item.path(), ec);
+      continue;
+    }
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, kEntrySuffix) != 0)
+      continue;  // not ours
+    const std::optional<std::string> bytes = read_file(path);
+    std::string key, payload;
+    if (!bytes || !decode_entry(*bytes, key, payload)) {
+      std::cerr << "rdcn_serve: disk cache: skipping corrupt entry " << path
+                << "\n";
+      ++corrupt_skipped_;
+      fs::remove(item.path(), ec);
+      continue;
+    }
+    index_.emplace(std::move(key), path);
+  }
+}
+
+std::string DiskCache::entry_path(const std::string& key) const {
+  return directory_ + "/" + to_hex(fnv1a64(key)) + kEntrySuffix;
+}
+
+std::optional<std::string> DiskCache::get(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const std::optional<std::string> bytes = read_file(it->second);
+  std::string stored_key, payload;
+  if (!bytes || !decode_entry(*bytes, stored_key, payload) ||
+      stored_key != key) {
+    // Rotted underneath us since load(); drop it rather than serve junk.
+    std::cerr << "rdcn_serve: disk cache: skipping corrupt entry "
+              << it->second << "\n";
+    ++corrupt_skipped_;
+    std::error_code ec;
+    fs::remove(it->second, ec);
+    index_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return payload;
+}
+
+void DiskCache::put(const std::string& key, const std::string& payload) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fault::fire("serve.disk_cache.write_fail")) {
+    ++write_failures_;
+    return;
+  }
+  const std::string path = entry_path(key);
+  const std::string temp = path + kTempSuffix;
+  std::string bytes = encode_entry(key, payload);
+  // Torn-write fault: commit only a prefix, as if the rename landed but
+  // the data never fully hit disk — exactly the corruption load() and
+  // get() must survive.
+  if (fault::fire("serve.disk_cache.torn_write"))
+    bytes.resize(bytes.size() / 2);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::cerr << "rdcn_serve: disk cache: cannot write " << temp << "\n";
+      ++write_failures_;
+      std::error_code ec;
+      fs::remove(temp, ec);
+      return;
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::cerr << "rdcn_serve: disk cache: cannot commit " << path << "\n";
+    ++write_failures_;
+    std::error_code ec;
+    fs::remove(temp, ec);
+    return;
+  }
+  index_.insert_or_assign(key, path);
+}
+
+DiskCache::Stats DiskCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, corrupt_skipped_, write_failures_,
+               index_.size()};
+}
+
+}  // namespace rdcn::serve

@@ -1,0 +1,87 @@
+// rdcn: the daemon's persistent on-disk results cache.
+//
+// The in-memory ResultsCache dies with the process; this store makes
+// completed scenario results survive a daemon restart.  One file per
+// entry in a flat directory, named by the FNV-1a hash of the key
+// (ScenarioSpec::canonical_string()), each laid out as
+//
+//   "RDC1"            4-byte magic (format version 1)
+//   key_len           u32 little-endian
+//   payload_len       u32 little-endian
+//   key bytes         the canonical spec string (verified on read —
+//                     filename hashes are a lookup hint, not the identity)
+//   payload bytes     the run's CSV table, verbatim
+//   crc32             u32 LE, IEEE 802.3 polynomial over key+payload
+//
+// Durability policy: writes go to "<name>.tmp" and rename(2) into place,
+// so a crash mid-write leaves at worst a stale .tmp (removed on the next
+// load) — never a half-visible entry.  A *torn* committed entry (rename
+// reordered before its data reached disk, or plain corruption) fails the
+// magic/length/CRC checks at startup: it is logged to stderr, deleted,
+// and counted in Stats::corrupt_skipped; the daemon serves everything
+// else.  Load validates every entry once and keeps an in-memory key →
+// path index, so get() is one file read and put() one write + rename.
+//
+// Thread-safe (one mutex — the daemon touches it once per submission and
+// once per completed run).  An empty directory string disables the cache
+// entirely: every get misses, every put is dropped.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rdcn::serve {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum guarding
+/// disk-cache entries.  Exposed for tests that forge/corrupt entries.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+class DiskCache {
+ public:
+  /// Opens (creating if needed) the store under `directory` and validates
+  /// every entry; "" disables the cache.  Throws SpecError when the
+  /// directory cannot be created.
+  explicit DiskCache(std::string directory);
+
+  bool enabled() const noexcept { return !directory_.empty(); }
+
+  /// Reads the payload for `key`, re-verifying the entry's CRC (a file
+  /// corrupted *after* load is skipped, deleted, and counted rather than
+  /// served).
+  std::optional<std::string> get(const std::string& key);
+
+  /// Persists (or refreshes) `key` via temp-file + rename.  Failures are
+  /// counted, logged, and swallowed — a broken disk degrades the daemon
+  /// to compute-only, it doesn't take runs down with it.
+  void put(const std::string& key, const std::string& payload);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt_skipped = 0;  ///< torn/corrupt entries dropped
+    std::uint64_t write_failures = 0;
+    std::size_t entries = 0;  ///< currently indexed valid entries
+  };
+  Stats stats() const;
+
+ private:
+  /// Scans the directory: indexes valid entries, removes stale .tmp
+  /// files, deletes + counts corrupt entries.
+  void load();
+
+  std::string entry_path(const std::string& key) const;
+
+  const std::string directory_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> index_;  ///< key → path
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t corrupt_skipped_ = 0;
+  std::uint64_t write_failures_ = 0;
+};
+
+}  // namespace rdcn::serve

@@ -67,8 +67,31 @@ Command parse_command(const std::string& line) {
     if (rest.empty()) {
       cmd.error = "RUN needs a scenario spec ('RUN <spec>')";
     } else {
+      // The spec itself never contains spaces; anything after the first
+      // token must be a recognized run option.
       cmd.kind = Command::Kind::kRun;
-      cmd.spec = rest;
+      const std::size_t space = rest.find(' ');
+      cmd.spec = rest.substr(0, space);
+      std::size_t pos = space;
+      while (pos != std::string::npos && pos < rest.size()) {
+        while (pos < rest.size() && rest[pos] == ' ') ++pos;
+        if (pos >= rest.size()) break;
+        const std::size_t end = rest.find(' ', pos);
+        const std::string token =
+            rest.substr(pos, end == std::string::npos ? std::string::npos
+                                                      : end - pos);
+        constexpr const char* kDeadlineKey = "deadline_ms=";
+        if (token.compare(0, 12, kDeadlineKey) == 0 &&
+            parse_u64(token.substr(12), cmd.deadline_ms) &&
+            cmd.deadline_ms > 0) {
+          pos = end;
+          continue;
+        }
+        cmd.kind = Command::Kind::kInvalid;
+        cmd.error = "unrecognized RUN option '" + token +
+                    "'; known: deadline_ms=<positive integer>";
+        break;
+      }
     }
   } else if (verb == "CANCEL") {
     if (!parse_u64(rest, cmd.id)) {
@@ -131,14 +154,38 @@ std::string msg_done(std::uint64_t id, const std::string& status) {
   return "DONE id=" + std::to_string(id) + " status=" + status;
 }
 
-std::string msg_stats(std::size_t active, std::size_t queued,
-                      std::uint64_t cache_hits, std::uint64_t cache_misses,
-                      std::size_t cache_entries) {
-  return "STATS active=" + std::to_string(active) +
-         " queued=" + std::to_string(queued) +
-         " cache_hits=" + std::to_string(cache_hits) +
-         " cache_misses=" + std::to_string(cache_misses) +
-         " cache_entries=" + std::to_string(cache_entries);
+std::string msg_stats(const StatsReport& r) {
+  return "STATS active=" + std::to_string(r.active) +
+         " queued=" + std::to_string(r.queued) +
+         " cache_hits=" + std::to_string(r.cache_hits) +
+         " cache_misses=" + std::to_string(r.cache_misses) +
+         " cache_entries=" + std::to_string(r.cache_entries) +
+         " completed=" + std::to_string(r.completed) +
+         " cancelled=" + std::to_string(r.cancelled) +
+         " deadline_exceeded=" + std::to_string(r.deadline_exceeded) +
+         " crashed=" + std::to_string(r.crashed) +
+         " rejected=" + std::to_string(r.rejected) +
+         " quarantined=" + std::to_string(r.quarantined) +
+         " disk_hits=" + std::to_string(r.disk_hits) +
+         " disk_corrupt=" + std::to_string(r.disk_corrupt);
+}
+
+StatsReport parse_stats(const std::string& attrs) {
+  StatsReport r;
+  r.active = static_cast<std::size_t>(attr_u64(attrs, "active"));
+  r.queued = static_cast<std::size_t>(attr_u64(attrs, "queued"));
+  r.cache_hits = attr_u64(attrs, "cache_hits");
+  r.cache_misses = attr_u64(attrs, "cache_misses");
+  r.cache_entries = static_cast<std::size_t>(attr_u64(attrs, "cache_entries"));
+  r.completed = attr_u64(attrs, "completed");
+  r.cancelled = attr_u64(attrs, "cancelled");
+  r.deadline_exceeded = attr_u64(attrs, "deadline_exceeded");
+  r.crashed = attr_u64(attrs, "crashed");
+  r.rejected = attr_u64(attrs, "rejected");
+  r.quarantined = attr_u64(attrs, "quarantined");
+  r.disk_hits = attr_u64(attrs, "disk_hits");
+  r.disk_corrupt = attr_u64(attrs, "disk_corrupt");
+  return r;
 }
 
 std::string msg_bye() { return "BYE"; }

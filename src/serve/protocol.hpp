@@ -5,33 +5,51 @@
 // payload back.  Everything here is pure string parsing/formatting shared
 // by the daemon, the client library, and the protocol tests; no sockets.
 //
-// Client → server, one command per line:
+// Client → server, one command per line (lines over 1 MiB are answered
+// with `ERROR reason=line_too_long` and the connection is closed):
 //
 //   PING                          liveness probe
-//   RUN <scenario-spec>           submit (ScenarioSpec::parse form)
+//   RUN <scenario-spec> [deadline_ms=<n>]
+//                                 submit (ScenarioSpec::parse form); with
+//                                 deadline_ms the daemon arms a monotonic
+//                                 watchdog: a run still going n ms after
+//                                 admission is cancelled cooperatively and
+//                                 finishes DONE status=deadline_exceeded
 //   CANCEL <id>                   cooperative cancel of a submitted run
-//   STATS                         queue/cache counters
+//   STATS                         queue/cache/failure counters
 //   SHUTDOWN                      stop the daemon
 //
 // Server → client:
 //
 //   PONG
-//   ERROR <message>               malformed command / SpecError text
+//   ERROR <message>               malformed command / SpecError text.
+//                                 Machine-readable refusals lead with a
+//                                 reason= token: reason=line_too_long,
+//                                 reason=quarantined (spec fast-failed
+//                                 after repeated executor crashes).
+//                                 Executor crashes (non-SpecError escapes)
+//                                 report as ERROR internal=<what> before
+//                                 their DONE status=error line.
 //   ACCEPTED id=<n>               run admitted (queued or cache hit)
 //   REJECT retry_ms=<n> reason=queue_full   backpressure: try again later
 //   CANCELLING id=<n>             cancel request acknowledged
 //   CHECKPOINT id=<n> label=<l> seed=<s> requests=<r> routing=<c>
 //              total=<c> wall=<sec>        one line per trial checkpoint
 //   RESULT id=<n> cached=<0|1> lines=<k>   followed by k raw CSV lines
-//   DONE id=<n> status=<ok|cancelled|error>  run finished (terminal)
+//   DONE id=<n> status=<ok|cancelled|deadline_exceeded|error>
+//                                 run finished (terminal)
 //   STATS active=<n> queued=<n> cache_hits=<n> cache_misses=<n>
-//         cache_entries=<n>
+//         cache_entries=<n> completed=<n> cancelled=<n>
+//         deadline_exceeded=<n> crashed=<n> rejected=<n> quarantined=<n>
+//         disk_hits=<n> disk_corrupt=<n>
 //   BYE                           shutdown acknowledged (connection closes)
 //
 // A RUN's lifetime on the wire: ACCEPTED, zero or more CHECKPOINTs,
 // optionally ERROR (execution failure), RESULT + payload on success, and
-// always exactly one DONE.  Lines for different runs may interleave on one
-// connection (the id attributes them).
+// always exactly one DONE.  An ERROR *without* a preceding ACCEPTED means
+// the submission was refused (bad spec, quarantined) — no DONE follows.
+// Lines for different runs may interleave on one connection (the id
+// attributes them).
 #pragma once
 
 #include <cstdint>
@@ -46,12 +64,34 @@ struct Command {
   Kind kind = Kind::kInvalid;
   std::string spec;       ///< kRun: the scenario spec text
   std::uint64_t id = 0;   ///< kCancel: the run id
+  std::uint64_t deadline_ms = 0;  ///< kRun: watchdog deadline (0 = none)
   std::string error;      ///< kInvalid: what was wrong
 };
 
 /// Parses one client line.  Never throws; malformed input yields kInvalid
 /// with a diagnostic the daemon echoes back as an ERROR line.
 Command parse_command(const std::string& line);
+
+/// The STATS reply, both directions: the daemon fills one and formats it
+/// with msg_stats; clients parse the reply's attribute text back into the
+/// same struct with parse_stats (unknown attributes are ignored, missing
+/// ones stay zero — the pair is forward/backward compatible).
+struct StatsReport {
+  std::size_t active = 0;             ///< runs currently executing
+  std::size_t queued = 0;             ///< runs waiting for an executor
+  std::uint64_t cache_hits = 0;       ///< in-memory results-cache hits
+  std::uint64_t cache_misses = 0;
+  std::size_t cache_entries = 0;
+  std::uint64_t completed = 0;          ///< runs finished DONE status=ok
+  std::uint64_t cancelled = 0;          ///< ... status=cancelled
+  std::uint64_t deadline_exceeded = 0;  ///< ... status=deadline_exceeded
+  std::uint64_t crashed = 0;    ///< executor crashes (ERROR internal=...)
+  std::uint64_t rejected = 0;   ///< REJECTs issued (backpressure)
+  std::uint64_t quarantined = 0;  ///< submissions refused as quarantined
+  std::uint64_t disk_hits = 0;    ///< runs served from the on-disk cache
+  std::uint64_t disk_corrupt = 0;  ///< corrupt disk entries skipped
+};
+StatsReport parse_stats(const std::string& attrs);
 
 /// Newlines embedded in `text` (e.g. multi-line exception messages) would
 /// break line framing; fold them into spaces.
@@ -66,9 +106,7 @@ std::string msg_checkpoint(std::uint64_t id, const std::string& label,
                            std::uint64_t seed, const sim::Checkpoint& c);
 std::string msg_result(std::uint64_t id, bool cached, std::size_t lines);
 std::string msg_done(std::uint64_t id, const std::string& status);
-std::string msg_stats(std::size_t active, std::size_t queued,
-                      std::uint64_t cache_hits, std::uint64_t cache_misses,
-                      std::size_t cache_entries);
+std::string msg_stats(const StatsReport& report);
 std::string msg_bye();
 
 /// Client-side view of one server line.
@@ -92,7 +130,7 @@ struct ServerLine {
   std::uint32_t retry_ms = 0;  ///< kReject
   bool cached = false;         ///< kResult
   std::size_t lines = 0;       ///< kResult: CSV payload line count
-  std::string status;          ///< kDone: ok | cancelled | error
+  std::string status;          ///< kDone: ok | cancelled | ... | error
 };
 
 /// Parses one server line.  Never throws; unknown verbs yield kOther.

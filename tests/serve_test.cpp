@@ -111,6 +111,60 @@ TEST(Protocol, ServerLinesRoundTrip) {
   EXPECT_EQ(done.status, "cancelled");
 }
 
+TEST(Protocol, ParsesRunDeadlineOption) {
+  const Command run = parse_command("RUN workload=zipf deadline_ms=250");
+  EXPECT_EQ(run.kind, Command::Kind::kRun);
+  EXPECT_EQ(run.spec, "workload=zipf");
+  EXPECT_EQ(run.deadline_ms, 250u);
+  // No option means no deadline.
+  EXPECT_EQ(parse_command("RUN workload=zipf").deadline_ms, 0u);
+  // Zero, non-numeric, and unknown options are refused, not ignored.
+  EXPECT_EQ(parse_command("RUN w=z deadline_ms=0").kind,
+            Command::Kind::kInvalid);
+  EXPECT_EQ(parse_command("RUN w=z deadline_ms=abc").kind,
+            Command::Kind::kInvalid);
+  EXPECT_EQ(parse_command("RUN w=z bogus=1").kind, Command::Kind::kInvalid);
+}
+
+TEST(Protocol, StatsReportRoundTrips) {
+  StatsReport r;
+  r.active = 1;
+  r.queued = 2;
+  r.cache_hits = 3;
+  r.cache_misses = 4;
+  r.cache_entries = 5;
+  r.completed = 6;
+  r.cancelled = 7;
+  r.deadline_exceeded = 8;
+  r.crashed = 9;
+  r.rejected = 10;
+  r.quarantined = 11;
+  r.disk_hits = 12;
+  r.disk_corrupt = 13;
+  const ServerLine line = parse_server_line(msg_stats(r));
+  ASSERT_EQ(line.kind, ServerLine::Kind::kStats);
+  const StatsReport parsed = parse_stats(line.text);
+  EXPECT_EQ(parsed.active, 1u);
+  EXPECT_EQ(parsed.queued, 2u);
+  EXPECT_EQ(parsed.cache_hits, 3u);
+  EXPECT_EQ(parsed.cache_misses, 4u);
+  EXPECT_EQ(parsed.cache_entries, 5u);
+  EXPECT_EQ(parsed.completed, 6u);
+  EXPECT_EQ(parsed.cancelled, 7u);
+  EXPECT_EQ(parsed.deadline_exceeded, 8u);
+  EXPECT_EQ(parsed.crashed, 9u);
+  EXPECT_EQ(parsed.rejected, 10u);
+  EXPECT_EQ(parsed.quarantined, 11u);
+  EXPECT_EQ(parsed.disk_hits, 12u);
+  EXPECT_EQ(parsed.disk_corrupt, 13u);
+}
+
+TEST(Protocol, DoneStatusCarriesDeadlineExceeded) {
+  const ServerLine done = parse_server_line(msg_done(3, "deadline_exceeded"));
+  EXPECT_EQ(done.kind, ServerLine::Kind::kDone);
+  EXPECT_EQ(done.status, "deadline_exceeded");
+}
+
 TEST(Protocol, SanitizeFoldsNewlines) {
   // Error text travels on one line; embedded newlines must not let a spec
   // fragment masquerade as a protocol line.
