@@ -476,6 +476,27 @@ int main(int argc, char** argv) {
       matrix_cells, matrix_threads, matrix_serial, matrix_parallel,
       matrix_speedup);
 
+  // Per-phase time profile of one traced scenario run (BMA on the
+  // Facebook-like trace at b=64, the flagship combination): the obs span
+  // tree over workload generation, trial execution, and checkpoint
+  // drains.  Traced separately from the timed measurements above so span
+  // bookkeeping can never contaminate a req/s number.
+  obs::reset_traces();
+  obs::set_tracing(true);
+  {
+    obs::ObsSpan root("perf_gate.profile_run");
+    (void)scenario::run_scenario(scenario::ScenarioSpec::parse(
+        "workload=facebook_db;algorithms=bma;b=64;racks=100;"
+        "requests=200000;trials=1;checkpoints=8;seed=42;threads=1"));
+  }
+  obs::set_tracing(false);
+  const std::vector<obs::PhaseTotal> profile = obs::collect_phases();
+  for (const obs::PhaseTotal& p : profile) {
+    std::printf("PROFILE %-40s %10.6f s  x%llu\n", p.path.c_str(),
+                static_cast<double>(p.total_ns) * 1e-9,
+                (unsigned long long)p.count);
+  }
+
   // Machine-readable output (schema documented in bench/README.md).
   std::ofstream json(out_path);
   json << "{\n  \"bench\": \"request_path\",\n";
@@ -561,6 +582,21 @@ int main(int argc, char** argv) {
                   matrix_parallel, matrix_speedup);
     json << buf;
   }
+  json << "  \"phase_profile\": {\"scenario\": "
+          "\"facebook_db/bma/b=64\", \"phases\": [\n";
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const obs::PhaseTotal& p = profile[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"path\": \"%s\", \"seconds\": %.6f, "
+                  "\"calls\": %llu}%s\n",
+                  p.path.c_str(),
+                  static_cast<double>(p.total_ns) * 1e-9,
+                  (unsigned long long)p.count,
+                  i + 1 < profile.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ]},\n";
   json << "  \"ledger_check\": \"" << (ledgers_ok ? "pass" : "fail")
        << "\"\n}\n";
   json.close();

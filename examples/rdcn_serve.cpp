@@ -45,11 +45,18 @@ constexpr const char* kUsage =
     "  --faults=SPEC     arm fault-injection points (testing/incident\n"
     "                    repro; same syntax as RDCN_FAULTS — see\n"
     "                    common/fault.hpp)\n"
+    "  --metrics-dump=FILE\n"
+    "                    write the full metric registry + phase-trace tree\n"
+    "                    as JSON to FILE periodically (atomic temp+rename;\n"
+    "                    default off)\n"
+    "  --metrics-dump-ms=N\n"
+    "                    snapshot period for --metrics-dump (default 1000)\n"
     "  --help            this text\n"
     "\n"
     "protocol: PING | RUN <spec> [deadline_ms=<n>] | CANCEL <id> | STATS |\n"
-    "          SHUTDOWN\n"
-    "see README.md ('Serving mode') for the full cookbook.\n";
+    "          METRICS | SHUTDOWN\n"
+    "see README.md ('Serving mode' and 'Observability') for the full\n"
+    "cookbook.\n";
 
 }  // namespace
 
@@ -63,7 +70,8 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.unknown_flags(
       {"socket", "queue", "executors", "cache", "disk-cache", "threads",
-       "retry-ms", "quarantine", "faults", "help"});
+       "retry-ms", "quarantine", "faults", "metrics-dump", "metrics-dump-ms",
+       "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
     std::cerr << "\n" << kUsage;
@@ -82,6 +90,8 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(flags.get_uint("retry-ms", 200));
     options.quarantine_threshold = flags.get_uint("quarantine", 3);
     options.faults = flags.get("faults", "");
+    options.metrics_dump_path = flags.get("metrics-dump", "");
+    options.metrics_dump_ms = flags.get_uint("metrics-dump-ms", 1000);
 
     serve::Daemon daemon(options);
     daemon.start();

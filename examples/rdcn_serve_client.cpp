@@ -48,6 +48,9 @@ constexpr const char* kUsage =
     "                  admission (DONE status=deadline_exceeded)\n"
     "  --retries=N     total submission attempts through REJECT\n"
     "                  backpressure and transient disconnects (default 5)\n"
+    "  --metrics-out=FILE\n"
+    "                  after the runs, scrape the daemon's METRICS endpoint\n"
+    "                  (Prometheus text exposition) into FILE; '-' = stdout\n"
     "  --quiet         suppress CHECKPOINT progress echo\n"
     "  --help          this text\n";
 
@@ -92,7 +95,7 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.unknown_flags(
       {"socket", "daemon", "spec", "spec2", "csv", "csv2", "deadline-ms",
-       "retries", "quiet", "help"});
+       "retries", "metrics-out", "quiet", "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
     std::cerr << "\n" << kUsage;
@@ -136,6 +139,23 @@ int main(int argc, char** argv) {
         !run_spec(client, flags.get("spec2"), flags.get("csv2", ""), quiet,
                   policy, deadline_ms))
       exit_code = 1;
+
+    if (flags.has("metrics-out")) {
+      const std::string text = client.metrics();
+      const std::string path = flags.get("metrics-out");
+      if (path == "-") {
+        std::cout << text;
+      } else {
+        std::ofstream file(path, std::ios::binary);
+        file << text;
+        if (!file) {
+          std::cerr << "error: cannot write " << path << "\n";
+          exit_code = 2;
+        } else {
+          std::cout << "wrote " << path << "\n";
+        }
+      }
+    }
 
     if (daemon_pid > 0) client.shutdown_daemon();
   } catch (const std::exception& e) {

@@ -56,6 +56,9 @@ constexpr FlagDoc kFlagDocs[] = {
      "thread-count independent)"},
     {"metric", "NAME", "which table to print (default routing_cost)"},
     {"csv", "FILE", "also write the table as CSV"},
+    {"profile", "",
+     "trace simulation phases (RAII spans over the monotonic clock) and "
+     "print a per-phase time report after the run"},
     {"zipf-skew", "S", "deprecated: use --workload=zipf:skew=S"},
     {"engine", "NAME", "deprecated: use --algorithms=r_bma:engine=NAME"},
     {"eager", "", "deprecated: use --algorithms=r_bma:eager"},
@@ -150,10 +153,21 @@ int main(int argc, char** argv) {
     const sim::Metric metric =
         sim::parse_metric(flags.get("metric", "routing_cost"));
 
+    const bool profile = flags.get_bool("profile", false);
+    if (profile) {
+      obs::reset_traces();  // a clean tree: this run only
+      obs::set_tracing(true);
+    }
+
     const bool streamed = flags.get_bool("stream", false);
-    const scenario::ScenarioResult result =
-        streamed ? scenario::run_scenario_streamed(spec)
-                 : scenario::run_scenario(spec);
+    const scenario::ScenarioResult result = [&] {
+      // The root span brackets the whole run so child phases (workload
+      // generation, trial execution, checkpoint drains) report as
+      // fractions of it.
+      obs::ObsSpan root("rdcn_sim.run");
+      return streamed ? scenario::run_scenario_streamed(spec)
+                      : scenario::run_scenario(spec);
+    }();
 
     std::cout << "scenario: " << result.spec.to_string() << "\n";
     if (streamed) {
@@ -178,6 +192,12 @@ int main(int argc, char** argv) {
       std::ofstream out(flags.get("csv"));
       sim::write_csv(out, result.runs, metric);
       std::cout << "wrote " << flags.get("csv") << "\n";
+    }
+
+    if (profile) {
+      obs::set_tracing(false);
+      std::cout << "\n";
+      obs::write_profile_report(std::cout);
     }
   } catch (const std::exception& e) {
     // SpecError from the registries/spec parsing, std::invalid_argument &

@@ -1,0 +1,35 @@
+// rdcn: the one monotonic clock shared by every measurement path.
+//
+// All timing in this codebase — Stopwatch, obs::ObsSpan phase traces,
+// daemon deadlines, pool wait/run histograms — reads MonotonicClock
+// (std::chrono::steady_clock).  Wall clocks (system_clock, time(),
+// gettimeofday) jump under NTP slew and DST and must never back a
+// measurement or a deadline; they are acceptable only for log
+// timestamps meant for humans.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rdcn {
+
+using MonotonicClock = std::chrono::steady_clock;
+
+inline MonotonicClock::time_point monotonic_now() noexcept {
+  return MonotonicClock::now();
+}
+
+/// Nanoseconds since an arbitrary (per-process) epoch.  The subtraction
+/// of two readings is a duration; a single reading carries no meaning.
+inline std::uint64_t monotonic_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now().time_since_epoch())
+          .count());
+}
+
+constexpr double ns_to_seconds(std::uint64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+}  // namespace rdcn

@@ -42,24 +42,40 @@ double next_unit(SplitMix64& rng) {
 
 }  // namespace
 
+namespace {
+
+std::atomic<FireObserver> g_fire_observer{nullptr};
+
+}  // namespace
+
 namespace detail {
 
 bool should_fire(const char* point) {
-  const std::lock_guard<std::mutex> lock(registry_mu());
-  const auto it = registry().find(point);
-  if (it == registry().end()) return false;
-  PointState& state = it->second;
-  const std::uint64_t eval = state.evals++;
-  if (eval < state.trigger.after) return false;
-  if (state.fires >= state.trigger.times) return false;
-  if (state.trigger.probability < 1.0 &&
-      next_unit(state.rng) >= state.trigger.probability)
-    return false;
-  ++state.fires;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu());
+    const auto it = registry().find(point);
+    if (it == registry().end()) return false;
+    PointState& state = it->second;
+    const std::uint64_t eval = state.evals++;
+    if (eval < state.trigger.after) return false;
+    if (state.fires >= state.trigger.times) return false;
+    if (state.trigger.probability < 1.0 &&
+        next_unit(state.rng) >= state.trigger.probability)
+      return false;
+    ++state.fires;
+  }
+  // Outside the mutex: the observer may itself take locks (metric
+  // registration) and must not be able to deadlock against arm/disarm.
+  if (FireObserver obs = g_fire_observer.load(std::memory_order_acquire))
+    obs(point);
   return true;
 }
 
 }  // namespace detail
+
+void set_fire_observer(FireObserver observer) {
+  g_fire_observer.store(observer, std::memory_order_release);
+}
 
 void arm(const std::string& point, const Trigger& trigger) {
   const std::lock_guard<std::mutex> lock(registry_mu());

@@ -93,4 +93,10 @@ std::uint64_t eval_count(const std::string& point);
 /// Names of currently armed points, sorted (diagnostics/logging).
 std::vector<std::string> armed_points();
 
+/// Optional observer invoked (outside the registry mutex) each time a
+/// point fires.  rdcn_obs installs one to count firings per point;
+/// common/ stays dependency-free.  Not called on the disarmed fast path.
+using FireObserver = void (*)(const char* point);
+void set_fire_observer(FireObserver observer);
+
 }  // namespace rdcn::fault

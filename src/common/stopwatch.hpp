@@ -1,15 +1,18 @@
-// rdcn: wall-clock stopwatch for the execution-time measurements that back
+// rdcn: monotonic stopwatch for the execution-time measurements that back
 // the paper's Figs 1b-4b (algorithm processing time, excluding trace
-// generation and I/O).
+// generation and I/O).  Reads common/clock.hpp's MonotonicClock — never a
+// wall clock — so measurements are immune to NTP slew.
 #pragma once
 
 #include <chrono>
+
+#include "common/clock.hpp"
 
 namespace rdcn {
 
 class Stopwatch {
  public:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonotonicClock;
 
   Stopwatch() : start_(Clock::now()) {}
 

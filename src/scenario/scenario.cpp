@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/assert.hpp"
+#include "obs/span.hpp"
 #include "sim/parallel_runner.hpp"
 
 namespace rdcn::scenario {
@@ -154,6 +155,7 @@ namespace {
 /// the RNG left exactly where workload generation starts.
 std::size_t build_topology(const ScenarioSpec& spec, Xoshiro256& rng,
                            ScenarioResult& result) {
+  obs::ObsSpan span("scenario.topology");
   result.spec = spec;
   result.topology =
       TopologyRegistry::instance().make(spec.topology, spec.racks, rng);
@@ -232,10 +234,14 @@ ScenarioResult run_scenario(const ScenarioSpec& raw_spec,
   Xoshiro256 rng(spec.seed);
   ScenarioResult result;
   const std::size_t workload_racks = build_topology(spec, rng, result);
-  result.workload = WorkloadRegistry::instance().make(
-      spec.workload, workload_racks, spec.requests, rng);
-  check_workload_fits(spec, result.workload.num_racks(), result);
+  {
+    obs::ObsSpan span("scenario.workload");
+    result.workload = WorkloadRegistry::instance().make(
+        spec.workload, workload_racks, spec.requests, rng);
+    check_workload_fits(spec, result.workload.num_racks(), result);
+  }
 
+  obs::ObsSpan span("scenario.experiment");
   result.runs =
       sim::run_experiment(make_experiment_config(spec, result, hooks),
                           result.workload, make_experiment_specs(spec));
@@ -259,12 +265,15 @@ ScenarioResult run_scenario_streamed(const ScenarioSpec& raw_spec,
   // ledgers for the same spec.
   const Xoshiro256 workload_rng = rng;
   const WorkloadRegistry& workloads = WorkloadRegistry::instance();
-  // Probe stream: surfaces "no streaming form" / bad parameters on this
-  // thread, and carries the name and rack universe for reporting.
-  const std::unique_ptr<trace::TraceStream> probe = workloads.make_stream(
-      spec.workload, workload_racks, spec.requests, workload_rng);
-  check_workload_fits(spec, probe->num_racks(), result);
-  result.workload = trace::Trace(probe->num_racks(), probe->name());
+  {
+    obs::ObsSpan span("scenario.workload");
+    // Probe stream: surfaces "no streaming form" / bad parameters on this
+    // thread, and carries the name and rack universe for reporting.
+    const std::unique_ptr<trace::TraceStream> probe = workloads.make_stream(
+        spec.workload, workload_racks, spec.requests, workload_rng);
+    check_workload_fits(spec, probe->num_racks(), result);
+    result.workload = trace::Trace(probe->num_racks(), probe->name());
+  }
 
   const sim::StreamFactory factory = [&workloads, workload = spec.workload,
                                       workload_racks,
@@ -273,6 +282,7 @@ ScenarioResult run_scenario_streamed(const ScenarioSpec& raw_spec,
     return workloads.make_stream(workload, workload_racks, requests,
                                  workload_rng);
   };
+  obs::ObsSpan span("scenario.experiment");
   result.runs =
       sim::run_experiment(make_experiment_config(spec, result, hooks),
                           factory, make_experiment_specs(spec));

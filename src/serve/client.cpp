@@ -10,6 +10,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "serve/protocol.hpp"
 
@@ -61,13 +62,13 @@ void Client::connect(const std::string& socket_path, int timeout_ms) {
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
   socket_path_ = socket_path;
 
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
+  const auto deadline =
+      monotonic_now() + std::chrono::milliseconds(timeout_ms);
   while (true) {
     fd_ = connect_once(addr, read_timeout_seconds_);
     if (fd_ >= 0) return;
     // ENOENT/ECONNREFUSED while the daemon is still starting up.
-    if (std::chrono::steady_clock::now() >= deadline)
+    if (monotonic_now() >= deadline)
       throw SpecError("cannot connect to '" + socket_path +
                       "': " + std::strerror(errno));
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -149,7 +150,12 @@ Client::Submission Client::submit(const std::string& spec,
     line += " deadline_ms=" + std::to_string(deadline_ms);
   send_line(line);
   Submission out;
-  const ServerLine reply = parse_server_line(read_line());
+  ServerLine reply = parse_server_line(read_line());
+  // A CANCELLING ack can straggle past its run's DONE when the cancelled
+  // run completed in the same instant (natural completion racing the
+  // cancel); it carries no information for this submission — skip it.
+  while (reply.kind == ServerLine::Kind::kCancelling)
+    reply = parse_server_line(read_line());
   switch (reply.kind) {
     case ServerLine::Kind::kAccepted:
       out.accepted = true;
@@ -297,6 +303,23 @@ std::string Client::stats() {
 }
 
 StatsReport Client::stats_report() { return parse_stats(stats()); }
+
+std::string Client::metrics() {
+  send_line("METRICS");
+  while (true) {
+    const ServerLine line = parse_server_line(read_line());
+    if (line.kind == ServerLine::Kind::kMetrics) {
+      // Exposition lines follow the header back-to-back (one write unit
+      // on the daemon side, like RESULT payloads).
+      std::string text;
+      for (std::size_t i = 0; i < line.lines; ++i)
+        text += read_line() + "\n";
+      return text;
+    }
+    if (line.kind == ServerLine::Kind::kCheckpoint) continue;
+    throw SpecError("unexpected METRICS reply");
+  }
+}
 
 void Client::set_read_timeout_seconds(long seconds) {
   read_timeout_seconds_ = seconds;

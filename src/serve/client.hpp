@@ -138,6 +138,11 @@ class Client {
   /// The same report parsed (serve/protocol.hpp StatsReport fields).
   StatsReport stats_report();
 
+  /// The daemon's full metric registry as Prometheus text exposition
+  /// (METRICS command): daemon counters/gauges/histograms plus the
+  /// process-wide registry (pool, simulator, fault firings).
+  std::string metrics();
+
   /// Sends SHUTDOWN and waits for BYE.  The daemon finishes tearing down
   /// after the socket closes.
   void shutdown_daemon();

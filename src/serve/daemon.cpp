@@ -4,9 +4,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <utility>
@@ -14,6 +17,7 @@
 #include "common/cancel.hpp"
 #include "common/fault.hpp"
 #include "common/param_map.hpp"
+#include "obs/span.hpp"
 #include "scenario/scenario.hpp"
 #include "serve/protocol.hpp"
 #include "sim/report.hpp"
@@ -120,13 +124,54 @@ struct Daemon::RunTask {
   /// Set by the watchdog before firing `cancel`, so the terminal DONE
   /// distinguishes deadline_exceeded from a client CANCEL.
   std::atomic<bool> deadline_fired{false};
+  std::uint64_t admitted_ns = 0;  ///< queue entry (admission-wait metric)
   std::shared_ptr<Connection> conn;
 };
 
+Daemon::Metrics::Metrics(obs::Registry& r)
+    : runs_ok(r.counter("rdcn_serve_runs_total", "Runs by terminal status",
+                        {{"status", "ok"}})),
+      runs_cancelled(r.counter("rdcn_serve_runs_total",
+                               "Runs by terminal status",
+                               {{"status", "cancelled"}})),
+      runs_deadline(r.counter("rdcn_serve_runs_total",
+                              "Runs by terminal status",
+                              {{"status", "deadline_exceeded"}})),
+      runs_error(r.counter("rdcn_serve_runs_total", "Runs by terminal status",
+                           {{"status", "error"}})),
+      crashes(r.counter("rdcn_serve_crashes_total",
+                        "Executor crashes (non-SpecError escapes)")),
+      rejected(r.counter("rdcn_serve_rejected_total",
+                         "Submissions refused with REJECT backpressure")),
+      quarantined(r.counter("rdcn_serve_quarantined_total",
+                            "Submissions fast-failed as quarantined")),
+      queue_depth(r.gauge("rdcn_serve_queue_depth",
+                          "Runs waiting for an executor")),
+      active_runs(r.gauge("rdcn_serve_active_runs",
+                          "Runs currently executing")),
+      admission_wait(r.latency_histogram(
+          "rdcn_serve_admission_wait_seconds",
+          "Admission-to-executor-pickup queue latency")),
+      run_ok(r.latency_histogram("rdcn_serve_run_seconds",
+                                 "Executor run latency by terminal status",
+                                 {{"status", "ok"}})),
+      run_cancelled(r.latency_histogram(
+          "rdcn_serve_run_seconds",
+          "Executor run latency by terminal status",
+          {{"status", "cancelled"}})),
+      run_deadline(r.latency_histogram(
+          "rdcn_serve_run_seconds",
+          "Executor run latency by terminal status",
+          {{"status", "deadline_exceeded"}})),
+      run_error(r.latency_histogram("rdcn_serve_run_seconds",
+                                    "Executor run latency by terminal status",
+                                    {{"status", "error"}})) {}
+
 Daemon::Daemon(ServeOptions options)
     : options_(std::move(options)),
-      cache_(options_.cache_entries),
-      disk_cache_(options_.disk_cache_dir) {}
+      m_(obs_),
+      cache_(options_.cache_entries, &obs_),
+      disk_cache_(options_.disk_cache_dir, &obs_) {}
 
 Daemon::~Daemon() { stop(); }
 
@@ -135,6 +180,22 @@ void Daemon::start() {
   // env hook lets a spawned daemon be armed from outside.
   fault::arm_from_spec(options_.faults);
   fault::arm_from_env();
+  // Fault firings count into the process registry; register the serving
+  // stack's known points eagerly so a METRICS scrape always exposes the
+  // family, zeros included.
+  obs::install_fault_observer();
+  for (const char* point :
+       {"serve.send.short_write", "serve.send.drop", "serve.send.stall",
+        "serve.admit.reject", "serve.executor.crash",
+        "serve.disk_cache.torn_write", "serve.disk_cache.write_fail"}) {
+    obs::Registry::global().counter(
+        "rdcn_fault_fires_total",
+        "Fault-injection point firings (common/fault.hpp)",
+        {{"point", point}});
+  }
+  // A serving process is long-lived and observable by design: phase
+  // traces are on so --metrics-dump snapshots carry per-phase time.
+  obs::set_tracing(true);
   const sockaddr_un addr = make_address(options_.socket_path);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
@@ -152,6 +213,8 @@ void Daemon::start() {
   started_ = true;
   accept_thread_ = std::thread(&Daemon::accept_loop, this);
   watchdog_thread_ = std::thread(&Daemon::watchdog_loop, this);
+  if (!options_.metrics_dump_path.empty())
+    metrics_thread_ = std::thread(&Daemon::metrics_dump_loop, this);
   for (std::size_t i = 0; i < options_.executors; ++i)
     executors_.emplace_back(&Daemon::executor_loop, this);
 }
@@ -174,8 +237,10 @@ void Daemon::stop() {
   for (auto& conn : conns) conn->shutdown_socket();
   cv_exec_.notify_all();
   cv_deadline_.notify_all();
+  cv_metrics_.notify_all();
   accept_thread_.join();
   watchdog_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
   // accept_loop has exited, so conn_threads_ is final now.
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -195,17 +260,21 @@ void Daemon::wait_for_shutdown_command() {
 }
 
 StatsReport Daemon::stats_report() const {
+  // Every field reads the metrics registry — the counters the executors
+  // bump are the counters STATS reports; nothing here can drift.  mu_ is
+  // taken so a client that read DONE sees its run counted (terminal
+  // bumps happen under mu_ before the DONE line goes out).
   StatsReport r;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    r.active = running_;
-    r.queued = queue_.size();
-    r.completed = counters_.completed;
-    r.cancelled = counters_.cancelled;
-    r.deadline_exceeded = counters_.deadline_exceeded;
-    r.crashed = counters_.crashed;
-    r.rejected = counters_.rejected;
-    r.quarantined = counters_.quarantined;
+    r.active = static_cast<std::size_t>(m_.active_runs.value());
+    r.queued = static_cast<std::size_t>(m_.queue_depth.value());
+    r.completed = m_.runs_ok.value();
+    r.cancelled = m_.runs_cancelled.value();
+    r.deadline_exceeded = m_.runs_deadline.value();
+    r.crashed = m_.crashes.value();
+    r.rejected = m_.rejected.value();
+    r.quarantined = m_.quarantined.value();
   }
   const ResultsCache::Stats cache = cache_.stats();
   r.cache_hits = cache.hits;
@@ -215,6 +284,42 @@ StatsReport Daemon::stats_report() const {
   r.disk_hits = disk.hits;
   r.disk_corrupt = disk.corrupt_skipped;
   return r;
+}
+
+std::string Daemon::metrics_text() const {
+  return obs_.render_prometheus() +
+         obs::Registry::global().render_prometheus();
+}
+
+void Daemon::write_metrics_dump() const {
+  const std::string temp = options_.metrics_dump_path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    out << "{\"serve\":" << obs_.render_json()
+        << ",\"process\":" << obs::Registry::global().render_json()
+        << ",\"trace\":" << obs::trace_json() << "}\n";
+    if (!out) {
+      std::cerr << "rdcn_serve: cannot write metrics dump " << temp << "\n";
+      return;
+    }
+  }
+  if (std::rename(temp.c_str(), options_.metrics_dump_path.c_str()) != 0)
+    std::cerr << "rdcn_serve: cannot commit metrics dump "
+              << options_.metrics_dump_path << "\n";
+}
+
+void Daemon::metrics_dump_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_metrics_.wait_for(
+        lock, std::chrono::milliseconds(
+                  std::max<std::uint64_t>(1, options_.metrics_dump_ms)));
+    lock.unlock();
+    write_metrics_dump();  // rendering takes registry mutexes, not mu_
+    lock.lock();
+  }
+  lock.unlock();
+  write_metrics_dump();  // final snapshot so short runs aren't lost
 }
 
 void Daemon::accept_loop() {
@@ -316,14 +421,29 @@ bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
         conn->send_line(msg_error("no queued or running run with id " +
                                   std::to_string(cmd.id)));
       } else {
-        token.request_cancel();
+        // Ack BEFORE firing the token: the executor's DONE is a
+        // consequence of the cancel, so sending the ack first keeps
+        // CANCELLING-before-DONE ordering on the wire (collect() consumes
+        // the ack; a DONE that overtook it would leave the ack behind to
+        // poison the next command's reply).
         conn->send_line(msg_cancelling(cmd.id));
+        token.request_cancel();
       }
       return true;
     }
     case Command::Kind::kStats:
       conn->send_line(msg_stats(stats_report()));
       return true;
+    case Command::Kind::kMetrics: {
+      // Header + exposition travel as one write unit (like RESULT) so no
+      // other run's lines can land inside the payload.
+      const std::string text = metrics_text();
+      std::size_t lines = 0;
+      for (const char c : text)
+        if (c == '\n') ++lines;
+      conn->send_raw(msg_metrics(lines) + "\n" + text);
+      return true;
+    }
     case Command::Kind::kShutdown: {
       conn->send_line(msg_bye());
       {
@@ -366,7 +486,7 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
     const auto it = crash_streaks_.find(canonical);
     if (options_.quarantine_threshold > 0 && it != crash_streaks_.end() &&
         it->second >= options_.quarantine_threshold) {
-      ++counters_.quarantined;
+      m_.quarantined.inc();
       conn->send_line(msg_error(
           "reason=quarantined consecutive_failures=" +
           std::to_string(it->second) +
@@ -380,7 +500,7 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
   if (fault::fire("serve.admit.reject")) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.rejected;
+      m_.rejected.inc();
     }
     conn->send_line(msg_reject(options_.retry_hint_ms));
     return;
@@ -404,7 +524,7 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
   if (payload) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.completed;
+      m_.runs_ok.inc();
     }
     conn->send_line(msg_accepted(id));
     send_payload(*conn, id, /*cached=*/true, *payload);
@@ -423,18 +543,19 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
     // exist yet).  The write is a few bytes to a local socket.
     const std::lock_guard<std::mutex> lock(mu_);
     if (queue_.size() >= options_.queue_limit) {
-      ++counters_.rejected;
+      m_.rejected.inc();
       conn->send_line(msg_reject(options_.retry_hint_ms));
       return;
     }
     conn->send_line(msg_accepted(id));
+    task->admitted_ns = monotonic_now_ns();
     queue_.push_back(task);
+    m_.queue_depth.add(1);
     if (cmd.deadline_ms > 0) {
       // Deadline counts from admission: queue wait is the daemon's
       // problem, not the client's.
-      deadlines_.emplace(std::chrono::steady_clock::now() +
-                             std::chrono::milliseconds(cmd.deadline_ms),
-                         task);
+      deadlines_.emplace(
+          monotonic_now() + std::chrono::milliseconds(cmd.deadline_ms), task);
       cv_deadline_.notify_one();
     }
     active_.emplace(id, std::move(task));
@@ -451,18 +572,21 @@ void Daemon::executor_loop() {
       if (stopping_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
-      ++running_;
+      m_.queue_depth.add(-1);
+      m_.active_runs.add(1);
     }
+    m_.admission_wait.observe_ns(monotonic_now_ns() - task->admitted_ns);
     execute(task);
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      --running_;
+      m_.active_runs.add(-1);
       active_.erase(task->id);
     }
   }
 }
 
 void Daemon::execute(const std::shared_ptr<RunTask>& task) {
+  const std::uint64_t start_ns = monotonic_now_ns();
   // Ends the run with DONE status cancelled/deadline_exceeded, whichever
   // the token firing meant.
   // Counters are bumped BEFORE the DONE line goes out: a client that
@@ -473,10 +597,12 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       if (deadline)
-        ++counters_.deadline_exceeded;
+        m_.runs_deadline.inc();
       else
-        ++counters_.cancelled;
+        m_.runs_cancelled.inc();
     }
+    (deadline ? m_.run_deadline : m_.run_cancelled)
+        .observe_ns(monotonic_now_ns() - start_ns);
     task->conn->send_line(
         msg_done(task->id, deadline ? "deadline_exceeded" : "cancelled"));
   };
@@ -486,13 +612,15 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
     task->conn->send_line(msg_error("internal=" + what));
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.crashed;
+      m_.crashes.inc();
+      m_.runs_error.inc();
       const std::size_t streak = ++crash_streaks_[task->canonical];
       if (options_.quarantine_threshold > 0 &&
           streak == options_.quarantine_threshold)
         std::cerr << "rdcn_serve: quarantining spec after " << streak
                   << " consecutive crashes: " << task->canonical << "\n";
     }
+    m_.run_error.observe_ns(monotonic_now_ns() - start_ns);
     task->conn->send_line(msg_done(task->id, "error"));
   };
 
@@ -522,9 +650,10 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
     disk_cache_.put(task->canonical, payload);
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.completed;
+      m_.runs_ok.inc();
       crash_streaks_.erase(task->canonical);
     }
+    m_.run_ok.observe_ns(monotonic_now_ns() - start_ns);
     send_payload(*task->conn, task->id, /*cached=*/false, payload);
     task->conn->send_line(msg_done(task->id, "ok"));
   } catch (const CancelledError&) {
@@ -532,6 +661,11 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
   } catch (const SpecError& e) {
     // A spec problem the admission-time validators couldn't see — a
     // refusal, not a crash: no streak, no quarantine.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      m_.runs_error.inc();
+    }
+    m_.run_error.observe_ns(monotonic_now_ns() - start_ns);
     task->conn->send_line(msg_error(e.what()));
     task->conn->send_line(msg_done(task->id, "error"));
   } catch (const std::exception& e) {
@@ -549,13 +683,13 @@ void Daemon::watchdog_loop() {
       continue;
     }
     const auto next = deadlines_.begin()->first;
-    if (std::chrono::steady_clock::now() < next) {
+    if (monotonic_now() < next) {
       // Re-evaluate after the wait: an earlier deadline may have been
       // armed, or stop() may have been requested.
       cv_deadline_.wait_until(lock, next);
       continue;
     }
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = monotonic_now();
     while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
       if (const std::shared_ptr<RunTask> task =
               deadlines_.begin()->second.lock()) {

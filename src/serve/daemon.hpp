@@ -51,7 +51,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -63,6 +62,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
 #include "serve/disk_cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/results_cache.hpp"
@@ -94,6 +95,12 @@ struct ServeOptions {
   /// Fault-injection spec armed at start() (fault::arm_from_spec syntax);
   /// "" arms nothing.  RDCN_FAULTS in the environment is applied too.
   std::string faults;
+  /// When non-empty, a snapshot thread writes the full metric registry
+  /// (plus the merged trace tree) as JSON to this file every
+  /// metrics_dump_ms, atomically (temp-file + rename), and once more at
+  /// stop().
+  std::string metrics_dump_path;
+  std::uint64_t metrics_dump_ms = 1000;
 };
 
 class Daemon {
@@ -121,8 +128,15 @@ class Daemon {
   const ServeOptions& options() const noexcept { return options_; }
   ResultsCache::Stats cache_stats() const { return cache_.stats(); }
   DiskCache::Stats disk_cache_stats() const { return disk_cache_.stats(); }
-  /// The same snapshot a STATS command reports.
+  /// The same snapshot a STATS command reports — assembled from the
+  /// metrics registry, the single source of truth for every counter.
   StatsReport stats_report() const;
+  /// This daemon's metric registry (admission, runs, caches).  Process-
+  /// wide metrics (pool, simulator, faults) are in obs::Registry::global().
+  const obs::Registry& metrics() const noexcept { return obs_; }
+  /// Prometheus text exposition: daemon registry + process registry, the
+  /// exact bytes a METRICS command returns.
+  std::string metrics_text() const;
 
  private:
   struct Connection;
@@ -138,12 +152,38 @@ class Daemon {
   void executor_loop();
   void execute(const std::shared_ptr<RunTask>& task);
   void watchdog_loop();
+  void metrics_dump_loop();
+  void write_metrics_dump() const;
   /// Joins reader threads listed in finished_readers_ (caller holds mu_).
   void reap_finished_readers_locked();
   void send_payload(Connection& conn, std::uint64_t id, bool cached,
                     const std::string& payload);
 
   ServeOptions options_;
+  /// Per-instance registry: declared before the caches so their counters
+  /// can register here; a fresh daemon starts every counter at zero even
+  /// when several daemons run sequentially in one (test) process.
+  obs::Registry obs_;
+  /// Handles into obs_, resolved once at construction so record sites
+  /// are single relaxed adds.  Terminal-outcome counters are bumped
+  /// under mu_ BEFORE the DONE line goes out (see execute()).
+  struct Metrics {
+    explicit Metrics(obs::Registry& r);
+    obs::Counter& runs_ok;        ///< DONE status=ok (cache hits included)
+    obs::Counter& runs_cancelled;
+    obs::Counter& runs_deadline;
+    obs::Counter& runs_error;     ///< DONE status=error (crash or SpecError)
+    obs::Counter& crashes;        ///< non-SpecError escapes (subset of error)
+    obs::Counter& rejected;
+    obs::Counter& quarantined;
+    obs::Gauge& queue_depth;
+    obs::Gauge& active_runs;
+    obs::Histogram& admission_wait;  ///< admission -> executor pickup
+    obs::Histogram& run_ok;          ///< executor run latency by status
+    obs::Histogram& run_cancelled;
+    obs::Histogram& run_deadline;
+    obs::Histogram& run_error;
+  } m_;
   ResultsCache cache_;
   DiskCache disk_cache_;
   int listen_fd_ = -1;
@@ -158,20 +198,10 @@ class Daemon {
   std::unordered_map<std::uint64_t, std::shared_ptr<RunTask>> active_;
   /// Armed deadlines, earliest first; entries for finished runs expire
   /// harmlessly (weak_ptr).
-  std::multimap<std::chrono::steady_clock::time_point,
-                std::weak_ptr<RunTask>>
+  std::multimap<MonotonicClock::time_point, std::weak_ptr<RunTask>>
       deadlines_;
   /// canonical spec → consecutive executor crashes (cleared on success).
   std::unordered_map<std::string, std::size_t> crash_streaks_;
-  /// Terminal-outcome counters (guarded by mu_), surfaced via STATS.
-  struct Counters {
-    std::uint64_t completed = 0;
-    std::uint64_t cancelled = 0;
-    std::uint64_t deadline_exceeded = 0;
-    std::uint64_t crashed = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t quarantined = 0;
-  } counters_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> conn_threads_;
   /// Reader threads that have exited (disconnected clients); their ids
@@ -179,13 +209,14 @@ class Daemon {
   /// handles nor Connection fds accumulate over the daemon's lifetime.
   std::vector<std::thread::id> finished_readers_;
   std::uint64_t next_id_ = 1;
-  std::size_t running_ = 0;
   bool started_ = false;
   bool shutdown_requested_ = false;
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::thread watchdog_thread_;
+  std::thread metrics_thread_;
+  std::condition_variable cv_metrics_;  ///< wakes the dump thread at stop
   std::vector<std::thread> executors_;
 };
 

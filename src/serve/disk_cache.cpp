@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "common/param_map.hpp"
 
@@ -114,8 +115,39 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
   return ~crc;
 }
 
-DiskCache::DiskCache(std::string directory)
-    : directory_(std::move(directory)) {
+DiskCache::DiskCache(std::string directory, obs::Registry* registry)
+    : directory_(std::move(directory)),
+      own_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                        : nullptr),
+      hits_((registry != nullptr ? *registry : *own_registry_)
+                .counter("rdcn_serve_disk_cache_hits_total",
+                         "On-disk results-cache hits")),
+      misses_((registry != nullptr ? *registry : *own_registry_)
+                  .counter("rdcn_serve_disk_cache_misses_total",
+                           "On-disk results-cache misses")),
+      corrupt_skipped_((registry != nullptr ? *registry : *own_registry_)
+                           .counter("rdcn_serve_disk_cache_corrupt_total",
+                                    "Torn/corrupt disk entries skipped")),
+      write_failures_((registry != nullptr ? *registry : *own_registry_)
+                          .counter("rdcn_serve_disk_cache_write_failures_total",
+                                   "Disk-cache writes dropped on error")),
+      entries_((registry != nullptr ? *registry : *own_registry_)
+                   .gauge("rdcn_serve_disk_cache_entries",
+                          "Valid disk-cache entries indexed")),
+      read_bytes_((registry != nullptr ? *registry : *own_registry_)
+                      .counter("rdcn_serve_disk_io_bytes_total",
+                               "Disk-cache bytes moved", {{"op", "read"}})),
+      write_bytes_((registry != nullptr ? *registry : *own_registry_)
+                       .counter("rdcn_serve_disk_io_bytes_total",
+                                "Disk-cache bytes moved", {{"op", "write"}})),
+      read_seconds_((registry != nullptr ? *registry : *own_registry_)
+                        .latency_histogram("rdcn_serve_disk_io_seconds",
+                                           "Disk-cache I/O latency",
+                                           {{"op", "read"}})),
+      write_seconds_((registry != nullptr ? *registry : *own_registry_)
+                         .latency_histogram("rdcn_serve_disk_io_seconds",
+                                            "Disk-cache I/O latency",
+                                            {{"op", "write"}})) {
   if (!enabled()) return;
   std::error_code ec;
   fs::create_directories(directory_, ec);
@@ -144,12 +176,13 @@ void DiskCache::load() {
     if (!bytes || !decode_entry(*bytes, key, payload)) {
       std::cerr << "rdcn_serve: disk cache: skipping corrupt entry " << path
                 << "\n";
-      ++corrupt_skipped_;
+      corrupt_skipped_.inc();
       fs::remove(item.path(), ec);
       continue;
     }
     index_.emplace(std::move(key), path);
   }
+  entries_.set(static_cast<std::int64_t>(index_.size()));
 }
 
 std::string DiskCache::entry_path(const std::string& key) const {
@@ -161,24 +194,28 @@ std::optional<std::string> DiskCache::get(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.inc();
     return std::nullopt;
   }
+  const std::uint64_t begin_ns = monotonic_now_ns();
   const std::optional<std::string> bytes = read_file(it->second);
+  read_seconds_.observe_ns(monotonic_now_ns() - begin_ns);
+  if (bytes) read_bytes_.add(bytes->size());
   std::string stored_key, payload;
   if (!bytes || !decode_entry(*bytes, stored_key, payload) ||
       stored_key != key) {
     // Rotted underneath us since load(); drop it rather than serve junk.
     std::cerr << "rdcn_serve: disk cache: skipping corrupt entry "
               << it->second << "\n";
-    ++corrupt_skipped_;
+    corrupt_skipped_.inc();
     std::error_code ec;
     fs::remove(it->second, ec);
     index_.erase(it);
-    ++misses_;
+    entries_.set(static_cast<std::int64_t>(index_.size()));
+    misses_.inc();
     return std::nullopt;
   }
-  ++hits_;
+  hits_.inc();
   return payload;
 }
 
@@ -186,7 +223,7 @@ void DiskCache::put(const std::string& key, const std::string& payload) {
   if (!enabled()) return;
   const std::lock_guard<std::mutex> lock(mu_);
   if (fault::fire("serve.disk_cache.write_fail")) {
-    ++write_failures_;
+    write_failures_.inc();
     return;
   }
   const std::string path = entry_path(key);
@@ -197,13 +234,14 @@ void DiskCache::put(const std::string& key, const std::string& payload) {
   // get() must survive.
   if (fault::fire("serve.disk_cache.torn_write"))
     bytes.resize(bytes.size() / 2);
+  const std::uint64_t begin_ns = monotonic_now_ns();
   {
     std::ofstream out(temp, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out) {
       std::cerr << "rdcn_serve: disk cache: cannot write " << temp << "\n";
-      ++write_failures_;
+      write_failures_.inc();
       std::error_code ec;
       fs::remove(temp, ec);
       return;
@@ -211,18 +249,21 @@ void DiskCache::put(const std::string& key, const std::string& payload) {
   }
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     std::cerr << "rdcn_serve: disk cache: cannot commit " << path << "\n";
-    ++write_failures_;
+    write_failures_.inc();
     std::error_code ec;
     fs::remove(temp, ec);
     return;
   }
+  write_seconds_.observe_ns(monotonic_now_ns() - begin_ns);
+  write_bytes_.add(bytes.size());
   index_.insert_or_assign(key, path);
+  entries_.set(static_cast<std::int64_t>(index_.size()));
 }
 
 DiskCache::Stats DiskCache::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, corrupt_skipped_, write_failures_,
-               index_.size()};
+  return Stats{hits_.value(), misses_.value(), corrupt_skipped_.value(),
+               write_failures_.value(), index_.size()};
 }
 
 }  // namespace rdcn::serve

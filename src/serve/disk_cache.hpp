@@ -28,10 +28,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "obs/metrics.hpp"
 
 namespace rdcn::serve {
 
@@ -44,8 +47,12 @@ class DiskCache {
  public:
   /// Opens (creating if needed) the store under `directory` and validates
   /// every entry; "" disables the cache.  Throws SpecError when the
-  /// directory cannot be created.
-  explicit DiskCache(std::string directory);
+  /// directory cannot be created.  With `registry` the cache's counters
+  /// and I/O histograms register there (rdcn_serve_disk_*); without,
+  /// they live in a private one — stats() reads the same metrics either
+  /// way (single source of truth).
+  explicit DiskCache(std::string directory,
+                     obs::Registry* registry = nullptr);
 
   bool enabled() const noexcept { return !directory_.empty(); }
 
@@ -76,12 +83,18 @@ class DiskCache {
   std::string entry_path(const std::string& key) const;
 
   const std::string directory_;
+  std::unique_ptr<obs::Registry> own_registry_;  ///< when none was passed
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& corrupt_skipped_;
+  obs::Counter& write_failures_;
+  obs::Gauge& entries_;
+  obs::Counter& read_bytes_;
+  obs::Counter& write_bytes_;
+  obs::Histogram& read_seconds_;
+  obs::Histogram& write_seconds_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::string> index_;  ///< key → path
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t corrupt_skipped_ = 0;
-  std::uint64_t write_failures_ = 0;
 };
 
 }  // namespace rdcn::serve

@@ -101,11 +101,13 @@ Command parse_command(const std::string& line) {
     }
   } else if (verb == "STATS") {
     cmd.kind = Command::Kind::kStats;
+  } else if (verb == "METRICS") {
+    cmd.kind = Command::Kind::kMetrics;
   } else if (verb == "SHUTDOWN") {
     cmd.kind = Command::Kind::kShutdown;
   } else {
     cmd.error = "unknown command '" + verb +
-                "'; known: PING, RUN, CANCEL, STATS, SHUTDOWN";
+                "'; known: PING, RUN, CANCEL, STATS, METRICS, SHUTDOWN";
   }
   return cmd;
 }
@@ -188,6 +190,10 @@ StatsReport parse_stats(const std::string& attrs) {
   return r;
 }
 
+std::string msg_metrics(std::size_t lines) {
+  return "METRICS lines=" + std::to_string(lines);
+}
+
 std::string msg_bye() { return "BYE"; }
 
 ServerLine parse_server_line(const std::string& line) {
@@ -224,6 +230,9 @@ ServerLine parse_server_line(const std::string& line) {
   } else if (verb == "STATS") {
     out.kind = ServerLine::Kind::kStats;
     out.text = rest;
+  } else if (verb == "METRICS") {
+    out.kind = ServerLine::Kind::kMetrics;
+    out.lines = static_cast<std::size_t>(attr_u64(rest, "lines"));
   } else if (verb == "BYE") {
     out.kind = ServerLine::Kind::kBye;
   } else {

@@ -17,6 +17,7 @@
 //                                 finishes DONE status=deadline_exceeded
 //   CANCEL <id>                   cooperative cancel of a submitted run
 //   STATS                         queue/cache/failure counters
+//   METRICS                       full Prometheus text exposition
 //   SHUTDOWN                      stop the daemon
 //
 // Server → client:
@@ -42,6 +43,10 @@
 //         cache_entries=<n> completed=<n> cancelled=<n>
 //         deadline_exceeded=<n> crashed=<n> rejected=<n> quarantined=<n>
 //         disk_hits=<n> disk_corrupt=<n>
+//   METRICS lines=<k>             followed by k raw Prometheus text
+//                                 exposition lines (obs registry render);
+//                                 header + payload travel as one write
+//                                 unit like RESULT
 //   BYE                           shutdown acknowledged (connection closes)
 //
 // A RUN's lifetime on the wire: ACCEPTED, zero or more CHECKPOINTs,
@@ -60,7 +65,15 @@
 namespace rdcn::serve {
 
 struct Command {
-  enum class Kind { kPing, kRun, kCancel, kStats, kShutdown, kInvalid };
+  enum class Kind {
+    kPing,
+    kRun,
+    kCancel,
+    kStats,
+    kMetrics,
+    kShutdown,
+    kInvalid,
+  };
   Kind kind = Kind::kInvalid;
   std::string spec;       ///< kRun: the scenario spec text
   std::uint64_t id = 0;   ///< kCancel: the run id
@@ -107,6 +120,8 @@ std::string msg_checkpoint(std::uint64_t id, const std::string& label,
 std::string msg_result(std::uint64_t id, bool cached, std::size_t lines);
 std::string msg_done(std::uint64_t id, const std::string& status);
 std::string msg_stats(const StatsReport& report);
+/// Header of a METRICS reply; `lines` raw exposition lines follow.
+std::string msg_metrics(std::size_t lines);
 std::string msg_bye();
 
 /// Client-side view of one server line.
@@ -121,6 +136,7 @@ struct ServerLine {
     kResult,
     kDone,
     kStats,
+    kMetrics,
     kBye,
     kOther,  ///< unrecognized (forward-compatible: clients skip these)
   };
@@ -129,7 +145,7 @@ struct ServerLine {
   std::string text;            ///< kError: message; kOther: whole line
   std::uint32_t retry_ms = 0;  ///< kReject
   bool cached = false;         ///< kResult
-  std::size_t lines = 0;       ///< kResult: CSV payload line count
+  std::size_t lines = 0;       ///< kResult/kMetrics: payload line count
   std::string status;          ///< kDone: ok | cancelled | ... | error
 };
 

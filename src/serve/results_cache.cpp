@@ -2,14 +2,28 @@
 
 namespace rdcn::serve {
 
+ResultsCache::ResultsCache(std::size_t capacity, obs::Registry* registry)
+    : capacity_(capacity),
+      own_registry_(registry == nullptr ? std::make_unique<obs::Registry>()
+                                        : nullptr),
+      hits_((registry != nullptr ? *registry : *own_registry_)
+                .counter("rdcn_serve_cache_hits_total",
+                         "In-memory results-cache hits")),
+      misses_((registry != nullptr ? *registry : *own_registry_)
+                  .counter("rdcn_serve_cache_misses_total",
+                           "In-memory results-cache misses")),
+      entries_((registry != nullptr ? *registry : *own_registry_)
+                   .gauge("rdcn_serve_cache_entries",
+                          "In-memory results-cache resident entries")) {}
+
 std::optional<std::string> ResultsCache::get(const std::string& key) {
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
-    ++misses_;
+    misses_.inc();
     return std::nullopt;
   }
-  ++hits_;
+  hits_.inc();
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
   return it->second->second;
 }
@@ -29,11 +43,12 @@ void ResultsCache::put(const std::string& key, std::string payload) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
   }
+  entries_.set(static_cast<std::int64_t>(lru_.size()));
 }
 
 ResultsCache::Stats ResultsCache::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, lru_.size()};
+  return Stats{hits_.value(), misses_.value(), lru_.size()};
 }
 
 }  // namespace rdcn::serve

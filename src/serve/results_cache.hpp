@@ -10,23 +10,33 @@
 // Bounded by entry count with least-recently-used eviction; every method
 // is thread-safe (one mutex — the payloads are small strings and the
 // daemon touches the cache once per submission, not per request).
+//
+// Hit/miss/entry counts live as obs metrics — the registry is the single
+// source of truth; stats() is just a read of the same counters METRICS
+// exposes (rdcn_serve_cache_*).
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace rdcn::serve {
 
 class ResultsCache {
  public:
   /// `capacity` = maximum resident entries; 0 disables caching entirely
-  /// (every get misses, every put is dropped).
-  explicit ResultsCache(std::size_t capacity) : capacity_(capacity) {}
+  /// (every get misses, every put is dropped).  With `registry` the
+  /// cache's counters register there (the daemon passes its per-instance
+  /// registry); without, they live in a private one.
+  explicit ResultsCache(std::size_t capacity,
+                        obs::Registry* registry = nullptr);
 
   /// Returns the payload for `key` and marks it most-recently-used.
   std::optional<std::string> get(const std::string& key);
@@ -46,11 +56,13 @@ class ResultsCache {
   using Entry = std::pair<std::string, std::string>;  ///< key → payload
 
   const std::size_t capacity_;
+  std::unique_ptr<obs::Registry> own_registry_;  ///< when none was passed
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Gauge& entries_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
 };
 
 }  // namespace rdcn::serve

@@ -4,6 +4,8 @@
 #include <span>
 
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace rdcn::sim {
 
@@ -19,6 +21,23 @@ std::vector<std::uint64_t> checkpoint_grid(std::uint64_t total_requests,
 }
 
 namespace {
+
+/// Chunk-loop throughput counters (process-wide registry).  Bumped once
+/// per kServeChunk, so the cost is two striped relaxed adds per 4096
+/// requests — invisible to the perf gate.
+struct SimCounters {
+  obs::Counter& chunks;
+  obs::Counter& requests;
+
+  static SimCounters& get() {
+    static SimCounters c{
+        obs::Registry::global().counter("rdcn_sim_chunks_total",
+                                        "Serve chunks executed"),
+        obs::Registry::global().counter("rdcn_sim_requests_total",
+                                        "Requests served by the chunk loop")};
+    return c;
+  }
+};
 
 /// Captures the matcher's cumulative ledger as one checkpoint row.
 struct Snapshotter {
@@ -109,6 +128,7 @@ RunResult run_batched(core::OnlineBMatcher& matcher, const Source& source,
     snap.snapshot(0);
   }
 
+  SimCounters& sim_counters = SimCounters::get();
   std::uint64_t served = 0;
   while (snap.next_cp < checkpoints.size()) {
     const std::uint64_t target = checkpoints[snap.next_cp];
@@ -126,15 +146,28 @@ RunResult run_batched(core::OnlineBMatcher& matcher, const Source& source,
                              " requests");
       const std::size_t chunk = static_cast<std::size_t>(
           std::min<std::uint64_t>(kServeChunk, target - served));
-      if constexpr (!Source::kTimedFill) watch.pause();
-      source.fill(served, chunk, scratch.data());
-      if constexpr (!Source::kTimedFill) watch.resume();
-      matcher.serve_batch(std::span<const trace::Request>(scratch.data(),
-                                                          chunk));
+      if constexpr (!Source::kTimedFill) {
+        // Stream fill is trace *generation*: excluded from the wall
+        // clock and traced as its own phase.
+        obs::ObsSpan span("sim.generate");
+        watch.pause();
+        source.fill(served, chunk, scratch.data());
+        watch.resume();
+      }
+      {
+        obs::ObsSpan span("sim.serve");
+        if constexpr (Source::kTimedFill)
+          source.fill(served, chunk, scratch.data());
+        matcher.serve_batch(std::span<const trace::Request>(scratch.data(),
+                                                            chunk));
+      }
       served += chunk;
+      sim_counters.chunks.inc();
+      sim_counters.requests.add(chunk);
     }
     while (snap.next_cp < checkpoints.size() &&
            checkpoints[snap.next_cp] == served) {
+      obs::ObsSpan span("sim.checkpoint");
       watch.pause();
       snap.snapshot(served);
       watch.resume();

@@ -4,11 +4,47 @@
 #include <atomic>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
 
 namespace rdcn::sim {
 
 namespace {
 thread_local bool t_on_pool_worker = false;
+
+/// Pool metrics live in the process-wide registry: the pool is a
+/// singleton, and test assertions use deltas, never absolute values.
+struct PoolMetrics {
+  obs::Gauge& workers;
+  obs::Gauge& queue_depth;
+  obs::Counter& jobs;
+  obs::Counter& inline_jobs;
+  obs::Counter& indices;
+  obs::Histogram& wait;  ///< publish -> first index claimed
+  obs::Histogram& run;   ///< publish -> all indices drained (owner view)
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().gauge("rdcn_pool_workers",
+                                      "Worker threads in the process pool"),
+        obs::Registry::global().gauge("rdcn_pool_queue_depth",
+                                      "Parallel jobs currently published"),
+        obs::Registry::global().counter(
+            "rdcn_pool_jobs_total", "Parallel jobs drained through the pool"),
+        obs::Registry::global().counter(
+            "rdcn_pool_inline_jobs_total",
+            "Parallel regions executed inline (nested or single-index)"),
+        obs::Registry::global().counter("rdcn_pool_indices_total",
+                                        "Job indices executed"),
+        obs::Registry::global().latency_histogram(
+            "rdcn_pool_job_wait_seconds",
+            "Publish-to-first-claim latency of pooled jobs"),
+        obs::Registry::global().latency_histogram(
+            "rdcn_pool_job_run_seconds",
+            "Publish-to-drained latency of pooled jobs")};
+    return m;
+  }
+};
 }  // namespace
 
 struct ThreadPool::Job {
@@ -20,6 +56,8 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> done{0};    ///< indices fully executed
   std::atomic<std::int64_t> slots;     ///< worker participation slots left
   std::atomic<std::size_t> active{0};  ///< workers currently draining
+  std::uint64_t publish_ns = 0;        ///< set by run() before publishing
+  std::atomic<bool> claimed{false};    ///< first index claimed (wait metric)
   std::mutex m;
   std::condition_variable cv;
 
@@ -47,6 +85,9 @@ ThreadPool::ThreadPool(std::size_t num_workers) {
     workers_.emplace_back([this] { worker_main(); });
   }
   threads_spawned_ = num_workers;
+  // Last-constructed pool wins the gauge; in practice only the
+  // process-wide instance() pool exists outside pool-specific tests.
+  PoolMetrics::get().workers.set(static_cast<std::int64_t>(num_workers));
 }
 
 ThreadPool::~ThreadPool() {
@@ -69,6 +110,10 @@ void ThreadPool::drain(Job& job) {
   while (true) {
     const std::size_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) return;
+    if (!job.claimed.load(std::memory_order_relaxed) &&
+        !job.claimed.exchange(true, std::memory_order_relaxed)) {
+      PoolMetrics::get().wait.observe_ns(monotonic_now_ns() - job.publish_ns);
+    }
     // A cancelled job fast-forwards: remaining indices are still claimed
     // and accounted (so the owner's completion predicate holds and the job
     // leaves the queue normally) but their bodies never run.
@@ -121,6 +166,9 @@ void ThreadPool::run(std::size_t count, std::size_t max_parallelism,
   // pool worker (a nested blocking job would risk self-deadlock).
   if (count == 1 || max_parallelism <= 1 || workers_.empty() ||
       t_on_pool_worker) {
+    PoolMetrics& metrics = PoolMetrics::get();
+    metrics.inline_jobs.inc();
+    metrics.indices.add(count);
     for (std::size_t i = 0; i < count; ++i) {
       if (cancel != nullptr && cancel->load(std::memory_order_acquire))
         return;
@@ -130,11 +178,14 @@ void ThreadPool::run(std::size_t count, std::size_t max_parallelism,
   }
 
   // The owner participates, so hand out one slot fewer to the workers.
+  PoolMetrics& metrics = PoolMetrics::get();
   Job job(body, ctx, count,
           static_cast<std::int64_t>(max_parallelism) - 1, cancel);
+  job.publish_ns = monotonic_now_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(&job);
+    metrics.queue_depth.add(1);
   }
   cv_.notify_all();
 
@@ -146,9 +197,13 @@ void ThreadPool::run(std::size_t count, std::size_t max_parallelism,
     std::lock_guard<std::mutex> lock(mu_);
     queue_.erase(std::find(queue_.begin(), queue_.end(), &job));
     ++jobs_completed_;
+    metrics.queue_depth.add(-1);
+    metrics.jobs.inc();
+    metrics.indices.add(count);
   }
   std::unique_lock<std::mutex> jl(job.m);
   job.cv.wait(jl, [&] { return job.finished(); });
+  metrics.run.observe_ns(monotonic_now_ns() - job.publish_ns);
 }
 
 }  // namespace rdcn::sim

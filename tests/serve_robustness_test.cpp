@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "scenario/scenario.hpp"
 #include "serve/client.hpp"
@@ -91,9 +92,8 @@ ServeOptions small_options(const std::string& tag) {
 /// Polls `pred` every 10 ms until it holds or ~5 s elapse.
 template <typename Pred>
 bool poll_until(Pred pred) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (std::chrono::steady_clock::now() < deadline) {
+  const auto deadline = monotonic_now() + std::chrono::seconds(5);
+  while (monotonic_now() < deadline) {
     if (pred()) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
