@@ -68,6 +68,12 @@ foreach(required IN ITEMS
     "rdcn_serve_rejected_total"
     "rdcn_serve_quarantined_total"
     "rdcn_fault_fires_total"
+    "rdcn_journal_appends_total"
+    "rdcn_journal_replayed_total"
+    "rdcn_journal_corrupt_total"
+    "rdcn_runs_recovered_total"
+    "rdcn_attach_total"
+    "rdcn_serve_drain_seconds_bucket"
     "rdcn_sim_chunks_total [1-9]"
     "rdcn_sim_requests_total [1-9]"
     "rdcn_pool_workers"

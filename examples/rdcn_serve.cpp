@@ -16,8 +16,15 @@
 //   printf 'RUN workload=zipf:skew=1.2;requests=20000;trials=2\n' |
 //     nc -U /tmp/rdcn.sock
 //
-// The daemon exits when a client sends SHUTDOWN (or on SIGTERM via the
-// surrounding service manager killing the process).
+// The daemon exits when a client sends SHUTDOWN.  SIGTERM/SIGINT (and
+// SHUTDOWN drain=1) trigger a graceful drain instead: admissions stop,
+// in-flight runs get --drain-ms to finish, stragglers are cancelled
+// cooperatively, caches and journal are flushed, and the process exits 0.
+//
+// With --journal=DIR the run lifecycle itself is durable: a daemon killed
+// mid-run re-enqueues every incomplete run at the next start (results
+// land in the disk cache), restores quarantine streaks, and keeps run ids
+// stable — clients re-attach to their runs with ATTACH <id>.
 #include <iostream>
 
 #include "common/flags.hpp"
@@ -38,6 +45,12 @@ constexpr const char* kUsage =
     "  --cache=N         results-cache entries, 0 disables (default 64)\n"
     "  --disk-cache=DIR  persistent results store surviving restarts;\n"
     "                    corrupt entries are skipped at startup (default off)\n"
+    "  --journal=DIR     write-ahead run journal: queued/running runs\n"
+    "                    survive a crash (re-enqueued at restart), run ids\n"
+    "                    stay stable for ATTACH, quarantine streaks\n"
+    "                    persist (default off)\n"
+    "  --drain-ms=N      graceful-drain budget for in-flight runs on\n"
+    "                    SIGTERM/SIGINT or SHUTDOWN drain=1 (default 5000)\n"
     "  --threads=N       worker threads per run, 0 = all cores (default 0)\n"
     "  --retry-ms=N      retry hint sent with REJECT (default 200)\n"
     "  --quarantine=N    consecutive executor crashes before a spec is\n"
@@ -53,8 +66,9 @@ constexpr const char* kUsage =
     "                    snapshot period for --metrics-dump (default 1000)\n"
     "  --help            this text\n"
     "\n"
-    "protocol: PING | RUN <spec> [deadline_ms=<n>] | CANCEL <id> | STATS |\n"
-    "          METRICS | SHUTDOWN\n"
+    "protocol: PING | RUN <spec> [deadline_ms=<n>] | CANCEL <id> |\n"
+    "          ATTACH <id> [from=<k>] | STATS | METRICS |\n"
+    "          SHUTDOWN [drain=<0|1>]\n"
     "see README.md ('Serving mode' and 'Observability') for the full\n"
     "cookbook.\n";
 
@@ -69,9 +83,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = flags.unknown_flags(
-      {"socket", "queue", "executors", "cache", "disk-cache", "threads",
-       "retry-ms", "quarantine", "faults", "metrics-dump", "metrics-dump-ms",
-       "help"});
+      {"socket", "queue", "executors", "cache", "disk-cache", "journal",
+       "drain-ms", "threads", "retry-ms", "quarantine", "faults",
+       "metrics-dump", "metrics-dump-ms", "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
     std::cerr << "\n" << kUsage;
@@ -85,6 +99,9 @@ int main(int argc, char** argv) {
     options.executors = flags.get_uint("executors", 2);
     options.cache_entries = flags.get_uint("cache", 64);
     options.disk_cache_dir = flags.get("disk-cache", "");
+    options.journal_dir = flags.get("journal", "");
+    options.drain_ms = flags.get_uint("drain-ms", 5000);
+    options.handle_signals = true;
     options.threads = flags.get_uint("threads", 0);
     options.retry_hint_ms =
         static_cast<std::uint32_t>(flags.get_uint("retry-ms", 200));

@@ -42,6 +42,9 @@ constexpr const char* kUsage =
     "  --spec=SPEC     scenario spec to run (ScenarioSpec one-line form)\n"
     "  --spec2=SPEC    second spec submitted after the first completes —\n"
     "                  an equivalent spec reports cached=1\n"
+    "  --attach=ID     instead of submitting, ATTACH to run ID (queued,\n"
+    "                  running, or recently finished — ids survive daemon\n"
+    "                  restarts when the daemon journals) and collect it\n"
     "  --csv=FILE      write the first run's CSV payload to FILE\n"
     "  --csv2=FILE     write the second run's CSV payload to FILE\n"
     "  --deadline-ms=N ask the daemon to abandon a run N ms after\n"
@@ -63,12 +66,47 @@ bool run_spec(serve::Client& client, const std::string& spec,
               std::uint64_t deadline_ms) {
   const serve::Client::RunOutput out = client.run_scenario(
       spec, policy, deadline_ms, [quiet](const std::string& line) {
-        if (!quiet) std::cout << line << "\n";
+        // endl: progress lines are for live observation — they must not
+        // sit in a block buffer when stdout is a file or pipe.
+        if (!quiet) std::cout << line << std::endl;
       });
   std::cout << "run: status=" << out.status
             << " cached=" << (out.cached ? 1 : 0)
             << " checkpoints=" << out.checkpoints
             << " attempts=" << out.attempts << "\n";
+  if (out.status != "ok") {
+    if (!out.error.empty()) std::cerr << "error: " << out.error << "\n";
+    return false;
+  }
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path, std::ios::binary);
+    file << out.csv;
+    if (!file) {
+      std::cerr << "error: cannot write " << csv_path << "\n";
+      return false;
+    }
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return true;
+}
+
+/// ATTACHes to an existing run by id and collects it to completion.
+bool attach_run(serve::Client& client, std::uint64_t id,
+                const std::string& csv_path, bool quiet) {
+  const serve::Client::AttachResult at = client.attach(id);
+  if (!at.attached) {
+    std::cerr << "error: ATTACH " << id << " refused: " << at.error << "\n";
+    return false;
+  }
+  std::cout << "attached: id=" << id << " state=" << at.state
+            << " last_seq=" << at.last_seq << "\n";
+  const serve::Client::RunOutput out =
+      client.collect(id, [quiet](const std::string& line) {
+        if (!quiet) std::cout << line << std::endl;
+      });
+  std::cout << "run: status=" << out.status
+            << " cached=" << (out.cached ? 1 : 0)
+            << " checkpoints=" << out.checkpoints << " attempts=1\n";
   if (out.status != "ok") {
     if (!out.error.empty()) std::cerr << "error: " << out.error << "\n";
     return false;
@@ -94,8 +132,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = flags.unknown_flags(
-      {"socket", "daemon", "spec", "spec2", "csv", "csv2", "deadline-ms",
-       "retries", "metrics-out", "quiet", "help"});
+      {"socket", "daemon", "spec", "spec2", "attach", "csv", "csv2",
+       "deadline-ms", "retries", "metrics-out", "quiet", "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
     std::cerr << "\n" << kUsage;
@@ -131,7 +169,11 @@ int main(int argc, char** argv) {
     serve::Client::RetryPolicy policy;
     policy.max_attempts = flags.get_uint("retries", 5);
     const std::uint64_t deadline_ms = flags.get_uint("deadline-ms", 0);
-    if (flags.has("spec") &&
+    if (flags.has("attach") &&
+        !attach_run(client, flags.get_uint("attach", 0),
+                    flags.get("csv", ""), quiet))
+      exit_code = 1;
+    if (exit_code == 0 && flags.has("spec") &&
         !run_spec(client, flags.get("spec"), flags.get("csv", ""), quiet,
                   policy, deadline_ms))
       exit_code = 1;

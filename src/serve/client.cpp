@@ -211,6 +211,31 @@ Client::RunOutput Client::collect(
   }
 }
 
+Client::AttachResult Client::attach(std::uint64_t id, std::uint64_t from) {
+  std::string line = "ATTACH " + std::to_string(id);
+  if (from > 1) line += " from=" + std::to_string(from);
+  send_line(line);
+  AttachResult out;
+  while (true) {
+    const ServerLine reply = parse_server_line(read_line());
+    switch (reply.kind) {
+      case ServerLine::Kind::kAttached:
+        out.attached = true;
+        out.state = reply.status;
+        out.last_seq = reply.seq;
+        return out;
+      case ServerLine::Kind::kError:
+        out.error = reply.text;
+        return out;
+      case ServerLine::Kind::kCheckpoint:
+      case ServerLine::Kind::kCancelling:
+        continue;  // other runs' lines interleaving on this connection
+      default:
+        throw SpecError("unexpected ATTACH reply");
+    }
+  }
+}
+
 Client::RunOutput Client::run_scenario(
     const std::string& spec, const RetryPolicy& policy,
     std::uint64_t deadline_ms,
@@ -223,6 +248,17 @@ Client::RunOutput Client::run_scenario(
                               static_cast<std::uint64_t>(::getpid()));
   std::uint64_t backoff_ms = policy.base_backoff_ms;
   std::string last_failure = "never submitted";
+  // Resume state: the ACCEPTED id of the in-flight attempt and how many
+  // checkpoints this client already consumed — a reconnect ATTACHes with
+  // from=seen+1 so the daemon replays exactly the missed ones (valid even
+  // across a daemon restart: the recovered run re-emits the same
+  // deterministic checkpoint sequence).
+  std::uint64_t live_id = 0;
+  std::uint64_t checkpoints_seen = 0;
+  const auto tap = [&](const std::string& raw) {
+    ++checkpoints_seen;
+    if (on_checkpoint) on_checkpoint(raw);
+  };
 
   const auto sleep_with_jitter = [&](std::uint64_t delay_ms) {
     // Full delay shrunk into [delay/2, delay]: bounded above by the
@@ -240,6 +276,25 @@ Client::RunOutput Client::run_scenario(
     };
     try {
       if (!connected()) reconnect(policy.reconnect_timeout_ms);
+      if (live_id != 0) {
+        // A previous attempt's run may still be going (or already done)
+        // server-side: rejoin it instead of resubmitting blind.
+        const AttachResult at = attach(live_id, checkpoints_seen + 1);
+        if (at.attached) {
+          RunOutput out = collect(live_id, tap);
+          // "cancelled" here is the daemon reaping the run we orphaned
+          // by disconnecting (no journal to make it durable) — a lost
+          // run, not an answer; fall through to a fresh submission.
+          if (out.status != "cancelled") {
+            out.checkpoints = static_cast<std::size_t>(checkpoints_seen);
+            out.attempts = attempt;
+            return out;
+          }
+        }
+        // The daemon forgot (or reaped) the run; start over fresh.
+        live_id = 0;
+        checkpoints_seen = 0;
+      }
       const Submission sub = submit(spec, deadline_ms);
       if (!sub.error.empty()) {
         // Refused (bad spec, quarantined): permanent, don't burn retries.
@@ -257,15 +312,18 @@ Client::RunOutput Client::run_scenario(
         bump_backoff();
         continue;
       }
-      RunOutput out = collect(sub.id, on_checkpoint);
+      live_id = sub.id;
+      RunOutput out = collect(sub.id, tap);
+      out.checkpoints = static_cast<std::size_t>(checkpoints_seen);
       out.attempts = attempt;
       return out;
     } catch (const TransportError& e) {
       if (e.kind() == TransportError::Kind::kTimeout)
         throw;  // daemon is slow/wedged, not gone — retrying piles on
       // kEof/kIo: the daemon (or our connection) went away mid-run.
-      // Reconnect and resubmit; a run that completed server-side is
-      // answered from the results cache, so no work is repeated.
+      // Reconnect and ATTACH by the accepted id (or resubmit when there
+      // is none); a run that completed server-side replays its stored
+      // outcome, so no work is repeated.
       last_failure = e.what();
       disconnect();
       sleep_with_jitter(backoff_ms);
@@ -326,8 +384,8 @@ void Client::set_read_timeout_seconds(long seconds) {
   if (fd_ >= 0) apply_read_timeout(fd_, seconds);
 }
 
-void Client::shutdown_daemon() {
-  send_line("SHUTDOWN");
+void Client::shutdown_daemon(bool drain) {
+  send_line(drain ? "SHUTDOWN drain=1" : "SHUTDOWN");
   while (true) {
     const ServerLine line = parse_server_line(read_line());
     if (line.kind == ServerLine::Kind::kBye) return;

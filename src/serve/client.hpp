@@ -6,8 +6,12 @@
 // line.  run_scenario() wraps the pair in a bounded retry loop: REJECT
 // backpressure is honored (server retry hint + exponential backoff with
 // deterministic jitter) and transient disconnects are survived by
-// reconnecting and resubmitting — a completed run's resubmission is
-// answered from the daemon's results cache, so retries don't recompute.
+// reconnecting and ATTACHing to the run by its ACCEPTED id — the daemon
+// replays missed checkpoints and the stream resumes where it broke.  A
+// daemon that forgot the run (restart without a journal, eviction)
+// answers ERROR reason=unknown_run and the client falls back to a blind
+// resubmit; a run that completed server-side is then answered from the
+// results cache, so no work is repeated either way.
 //
 // Transport failures throw TransportError, whose kind() distinguishes the
 // daemon being *gone* (kEof: orderly close; kIo: hard socket error) from
@@ -99,6 +103,19 @@ class Client {
                     const std::function<void(const std::string& line)>&
                         on_checkpoint = {});
 
+  /// Outcome of one ATTACH request.
+  struct AttachResult {
+    bool attached = false;
+    std::string state;  ///< "queued" | "running" | "done" when attached
+    std::uint64_t last_seq = 0;  ///< highest checkpoint seq emitted so far
+    std::string error;  ///< refusal text (reason=unknown_run, ...)
+  };
+  /// Resubscribes to run `id` (same or a different connection/process;
+  /// across daemon restarts when the daemon journals).  Checkpoints with
+  /// seq >= `from` replay immediately; collect(id) then consumes the
+  /// replayed + live stream to DONE exactly like a fresh submission.
+  AttachResult attach(std::uint64_t id, std::uint64_t from = 1);
+
   /// Retry policy for run_scenario: attempt k (0-based) backs off
   /// max(server retry hint, base_backoff_ms·2^k) capped at
   /// max_backoff_ms, then sleeps a uniformly jittered span in
@@ -143,9 +160,11 @@ class Client {
   /// process-wide registry (pool, simulator, fault firings).
   std::string metrics();
 
-  /// Sends SHUTDOWN and waits for BYE.  The daemon finishes tearing down
-  /// after the socket closes.
-  void shutdown_daemon();
+  /// Sends SHUTDOWN and waits for BYE.  With `drain` the daemon stops
+  /// admitting, finishes in-flight runs (bounded by its --drain-ms), and
+  /// exits gracefully.  The daemon finishes tearing down after the
+  /// socket closes.
+  void shutdown_daemon(bool drain = false);
 
   /// Per-read silence budget before read_line throws
   /// TransportError(kTimeout).  Default 600 s — a healthy run checkpoints

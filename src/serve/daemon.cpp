@@ -1,5 +1,6 @@
 #include "serve/daemon.hpp"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -30,6 +31,25 @@ namespace {
 /// malformed (or malicious); past this the connection is refused instead
 /// of growing the buffer without bound.
 constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+/// CHECKPOINT lines retained per run for ATTACH replay.  An attacher that
+/// missed more than this sees a gap — the ring bounds daemon memory, the
+/// RESULT payload is never gapped.
+constexpr std::size_t kCheckpointRing = 128;
+
+/// Terminal tasks retained for late ATTACH (state=done replay).
+constexpr std::size_t kRecentRuns = 256;
+
+/// Write end of the self-pipe, the only state a signal handler may touch.
+std::atomic<int> g_signal_pipe_wr{-1};
+
+void drain_signal_handler(int) {
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  const char byte = 's';
+  // The pipe is non-blocking; a full pipe just coalesces signals.
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+}
 
 /// Builds the sockaddr for `path`; throws SpecError when it doesn't fit
 /// sun_path (a hard AF_UNIX limit, typically 108 bytes).
@@ -115,7 +135,8 @@ struct Daemon::Connection {
 };
 
 /// An admitted run: travels from queue_ to an executor; active_ keeps it
-/// addressable by id for CANCEL until its DONE line is out.
+/// addressable by id for CANCEL/ATTACH until its DONE line is out, then
+/// recent_ keeps it (subscriber-free) for late attachers.
 struct Daemon::RunTask {
   std::uint64_t id = 0;
   scenario::ScenarioSpec spec;
@@ -124,8 +145,28 @@ struct Daemon::RunTask {
   /// Set by the watchdog before firing `cancel`, so the terminal DONE
   /// distinguishes deadline_exceeded from a client CANCEL.
   std::atomic<bool> deadline_fired{false};
+  std::atomic<bool> started{false};  ///< an executor picked it up
+  /// Re-enqueued from the journal after a restart: has no submitter, so
+  /// an empty subscriber list must not auto-cancel it.
+  bool recovered = false;
   std::uint64_t admitted_ns = 0;  ///< queue entry (admission-wait metric)
-  std::shared_ptr<Connection> conn;
+
+  /// One stream consumer.  `from` filters live/replayed CHECKPOINTs (an
+  /// ATTACH from=<k> resumer already saw seq < k — relevant after a
+  /// restart, when a recovered run re-emits its checkpoints from seq 1);
+  /// RESULT/DONE/ERROR always go out.
+  struct Subscriber {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t from = 1;
+  };
+  /// Subscriber/checkpoint state.  Lock order: mu_ may be held when
+  /// taking sub_mu, NEVER the reverse.
+  std::mutex sub_mu;
+  std::vector<Subscriber> subscribers;  ///< cleared at the terminal line
+  /// Last kCheckpointRing CHECKPOINT lines by seq, for ATTACH replay.
+  std::deque<std::pair<std::uint64_t, std::string>> ring;
+  std::uint64_t next_seq = 1;   ///< next checkpoint seq to assign
+  std::string terminal_status;  ///< "" until terminal; then ok|...|error
 };
 
 Daemon::Metrics::Metrics(obs::Registry& r)
@@ -145,6 +186,10 @@ Daemon::Metrics::Metrics(obs::Registry& r)
                          "Submissions refused with REJECT backpressure")),
       quarantined(r.counter("rdcn_serve_quarantined_total",
                             "Submissions fast-failed as quarantined")),
+      recovered(r.counter("rdcn_runs_recovered_total",
+                          "Journalled runs re-enqueued after a restart")),
+      attach_total(r.counter("rdcn_attach_total",
+                             "Successful ATTACH subscriptions")),
       queue_depth(r.gauge("rdcn_serve_queue_depth",
                           "Runs waiting for an executor")),
       active_runs(r.gauge("rdcn_serve_active_runs",
@@ -165,13 +210,16 @@ Daemon::Metrics::Metrics(obs::Registry& r)
           {{"status", "deadline_exceeded"}})),
       run_error(r.latency_histogram("rdcn_serve_run_seconds",
                                     "Executor run latency by terminal status",
-                                    {{"status", "error"}})) {}
+                                    {{"status", "error"}})),
+      drain_seconds(r.latency_histogram("rdcn_serve_drain_seconds",
+                                        "Graceful-drain duration")) {}
 
 Daemon::Daemon(ServeOptions options)
     : options_(std::move(options)),
       m_(obs_),
       cache_(options_.cache_entries, &obs_),
-      disk_cache_(options_.disk_cache_dir, &obs_) {}
+      disk_cache_(options_.disk_cache_dir, &obs_),
+      journal_(options_.journal_dir, &obs_) {}
 
 Daemon::~Daemon() { stop(); }
 
@@ -196,6 +244,35 @@ void Daemon::start() {
   // A serving process is long-lived and observable by design: phase
   // traces are on so --metrics-dump snapshots carry per-phase time.
   obs::set_tracing(true);
+  // Journal recovery runs before the socket goes live: the restored id
+  // counter, quarantine streaks, and re-enqueued runs are all in place
+  // before the first client can connect (ATTACH by a pre-crash id works
+  // immediately).
+  const Journal::Recovery recovered = journal_.recover(next_id_);
+  next_id_ = recovered.next_id;
+  for (const auto& [spec, streak] : recovered.quarantine)
+    crash_streaks_[spec] = streak;
+  for (const Journal::RecoveredRun& run : recovered.incomplete) {
+    auto task = std::make_shared<RunTask>();
+    task->id = run.id;
+    task->recovered = true;
+    task->canonical = run.spec;
+    try {
+      task->spec = scenario::ScenarioSpec::parse(run.spec);
+      task->spec.threads = options_.threads;
+    } catch (const std::exception& e) {
+      // Journalled by an incompatible build: end the run rather than die.
+      std::cerr << "rdcn_serve: journal: dropping unparseable recovered run "
+                << run.id << ": " << e.what() << "\n";
+      journal_.terminal(run.id, "error");
+      continue;
+    }
+    task->admitted_ns = monotonic_now_ns();
+    queue_.push_back(task);
+    m_.queue_depth.add(1);
+    active_.emplace(run.id, std::move(task));
+    m_.recovered.inc();
+  }
   const sockaddr_un addr = make_address(options_.socket_path);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
@@ -209,6 +286,24 @@ void Daemon::start() {
     listen_fd_ = -1;
     throw SpecError("cannot listen on '" + options_.socket_path +
                     "': " + why);
+  }
+  if (options_.handle_signals) {
+    if (::pipe(signal_pipe_) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw SpecError("cannot create signal pipe: " + why);
+    }
+    // Non-blocking write end: the handler must never block; a full pipe
+    // just coalesces repeated signals into the one pending drain.
+    ::fcntl(signal_pipe_[1], F_SETFL, O_NONBLOCK);
+    g_signal_pipe_wr.store(signal_pipe_[1], std::memory_order_relaxed);
+    struct sigaction sa {};
+    sa.sa_handler = &drain_signal_handler;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, &old_term_);
+    ::sigaction(SIGINT, &sa, &old_int_);
+    signal_thread_ = std::thread(&Daemon::signal_loop, this);
   }
   started_ = true;
   accept_thread_ = std::thread(&Daemon::accept_loop, this);
@@ -238,6 +333,7 @@ void Daemon::stop() {
   cv_exec_.notify_all();
   cv_deadline_.notify_all();
   cv_metrics_.notify_all();
+  cv_drain_.notify_all();
   accept_thread_.join();
   watchdog_thread_.join();
   if (metrics_thread_.joinable()) metrics_thread_.join();
@@ -248,6 +344,23 @@ void Daemon::stop() {
   }
   for (std::thread& t : conn_threads_) t.join();
   for (std::thread& t : executors_) t.join();
+  if (signal_thread_.joinable()) {
+    // Restore dispositions first so a signal during teardown behaves
+    // default; then tell the loop to exit via its own pipe.
+    g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(signal_pipe_[1], &byte, 1);
+    signal_thread_.join();
+    ::close(signal_pipe_[0]);
+    ::close(signal_pipe_[1]);
+    signal_pipe_[0] = signal_pipe_[1] = -1;
+  }
+  // Reader and signal threads are joined, so nobody can start a new
+  // drain; an in-flight drain_loop exits promptly on stopping_.
+  if (drain_thread_.joinable()) drain_thread_.join();
+  journal_.flush();
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
@@ -275,6 +388,8 @@ StatsReport Daemon::stats_report() const {
     r.crashed = m_.crashes.value();
     r.rejected = m_.rejected.value();
     r.quarantined = m_.quarantined.value();
+    r.recovered = m_.recovered.value();
+    r.attached = m_.attach_total.value();
   }
   const ResultsCache::Stats cache = cache_.stats();
   r.cache_hits = cache.hits;
@@ -320,6 +435,46 @@ void Daemon::metrics_dump_loop() {
   }
   lock.unlock();
   write_metrics_dump();  // final snapshot so short runs aren't lost
+}
+
+void Daemon::signal_loop() {
+  char byte = 0;
+  while (true) {
+    const ssize_t n = ::read(signal_pipe_[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0 || byte == 'q') return;  // stop() says goodbye
+    begin_drain();
+  }
+}
+
+void Daemon::begin_drain() {
+  if (drain_requested_.exchange(true)) return;  // one drain per lifetime
+  const std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  drain_thread_ = std::thread(&Daemon::drain_loop, this);
+}
+
+void Daemon::drain_loop() {
+  const std::uint64_t begin_ns = monotonic_now_ns();
+  const auto idle = [&] { return active_.empty() || stopping_.load(); };
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_drain_.wait_for(lock, std::chrono::milliseconds(options_.drain_ms),
+                       idle);
+    // Budget spent: stragglers get a cooperative cancel, then a bounded
+    // second wait — a wedged run (or executors=0) must not hold the
+    // shutdown hostage forever.
+    for (auto& [id, task] : active_) task->cancel.request_cancel();
+    cv_exec_.notify_all();
+    cv_drain_.wait_for(lock, std::chrono::milliseconds(1000), idle);
+  }
+  journal_.flush();
+  m_.drain_seconds.observe_ns(monotonic_now_ns() - begin_ns);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+  }
+  cv_shutdown_.notify_all();
 }
 
 void Daemon::accept_loop() {
@@ -377,13 +532,21 @@ void Daemon::connection_loop(const std::shared_ptr<Connection>& conn) {
   }
   conn->broken.store(true, std::memory_order_relaxed);
   conn->shutdown_socket();
-  // Nobody is left to receive this client's results; release its slots,
-  // drop the daemon's reference to the connection (the fd closes once the
-  // last in-flight task lets go), and queue this thread for reaping so a
-  // long-lived daemon doesn't accumulate dead readers.
+  // Unsubscribe this client everywhere, drop the daemon's reference to
+  // the connection (the fd closes once the last in-flight task lets go),
+  // and queue this thread for reaping so a long-lived daemon doesn't
+  // accumulate dead readers.  A run left subscriber-less is cancelled to
+  // free its executor — unless a journal is armed (the run is durable and
+  // re-attachable: it finishes and its result lands in the caches) or the
+  // run was recovered (it never had a submitter to lose).
   const std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, task] : active_)
-    if (task->conn == conn) task->cancel.request_cancel();
+  for (auto& [id, task] : active_) {
+    const std::lock_guard<std::mutex> sub_lock(task->sub_mu);
+    std::erase_if(task->subscribers,
+                  [&](const RunTask::Subscriber& s) { return s.conn == conn; });
+    if (task->subscribers.empty() && !task->recovered && !journal_.enabled())
+      task->cancel.request_cancel();
+  }
   std::erase(conns_, conn);
   finished_readers_.push_back(std::this_thread::get_id());
 }
@@ -431,6 +594,9 @@ bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
       }
       return true;
     }
+    case Command::Kind::kAttach:
+      handle_attach(conn, cmd);
+      return true;
     case Command::Kind::kStats:
       conn->send_line(msg_stats(stats_report()));
       return true;
@@ -446,6 +612,12 @@ bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
     }
     case Command::Kind::kShutdown: {
       conn->send_line(msg_bye());
+      if (cmd.drain) {
+        // Graceful: the drain thread flips shutdown_requested_ once
+        // in-flight runs finished (or the drain budget expired).
+        begin_drain();
+        return false;
+      }
       {
         const std::lock_guard<std::mutex> lock(mu_);
         shutdown_requested_ = true;
@@ -483,6 +655,12 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
   // admission instead of being given another executor to wedge.
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      // A draining daemon finishes what it has; new work belongs to the
+      // next instance.
+      conn->send_line(msg_error("reason=draining daemon is shutting down"));
+      return;
+    }
     const auto it = crash_streaks_.find(canonical);
     if (options_.quarantine_threshold > 0 && it != crash_streaks_.end() &&
         it->second >= options_.quarantine_threshold) {
@@ -536,7 +714,7 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
   task->id = id;
   task->spec = std::move(spec);
   task->canonical = std::move(canonical);
-  task->conn = conn;
+  task->subscribers.push_back({conn, /*from=*/1});  // unpublished: no lock
   {
     // ACCEPTED goes out under mu_ so no executor can emit this run's
     // CHECKPOINT lines first (they'd need the queue entry, which doesn't
@@ -547,6 +725,9 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
       conn->send_line(msg_reject(options_.retry_hint_ms));
       return;
     }
+    // Journalled before ACCEPTED: an id the client saw is an id a
+    // restarted daemon remembers.
+    journal_.admitted(id, task->canonical);
     conn->send_line(msg_accepted(id));
     task->admitted_ns = monotonic_now_ns();
     queue_.push_back(task);
@@ -563,6 +744,81 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
   cv_exec_.notify_one();
 }
 
+void Daemon::handle_attach(const std::shared_ptr<Connection>& conn,
+                           const Command& cmd) {
+  std::shared_ptr<RunTask> task;
+  std::string status;  ///< terminal status; "" while the run is live
+  std::uint64_t last_seq = 0;
+  std::vector<std::string> replay;
+  bool live = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = active_.find(cmd.id);
+    if (it != active_.end()) {
+      task = it->second;
+    } else {
+      for (const auto& t : recent_)
+        if (t->id == cmd.id) {
+          task = t;
+          break;
+        }
+    }
+    if (task) {
+      const std::lock_guard<std::mutex> sub_lock(task->sub_mu);
+      status = task->terminal_status;
+      last_seq = task->next_seq - 1;
+      for (const auto& [seq, line] : task->ring)
+        if (seq >= cmd.from) replay.push_back(line);
+      if (status.empty()) {
+        // Live run: ATTACHED + ring replay + subscription happen under
+        // sub_mu so no concurrent checkpoint can interleave or be missed
+        // between the replay and the live stream.
+        live = true;
+        m_.attach_total.inc();
+        conn->send_line(msg_attached(
+            cmd.id,
+            task->started.load(std::memory_order_acquire) ? "running"
+                                                          : "queued",
+            last_seq));
+        for (const std::string& line : replay) conn->send_line(line);
+        task->subscribers.push_back({conn, cmd.from});
+      }
+    }
+  }
+  if (!task) {
+    conn->send_line(
+        msg_error("reason=unknown_run id=" + std::to_string(cmd.id)));
+    return;
+  }
+  if (live) return;
+  // Terminal run: its ring and status are immutable now (subscribers were
+  // cleared at DONE), so the whole outcome replays from here — for ok
+  // runs the payload comes from the caches.
+  std::optional<std::string> payload;
+  if (status == "ok") {
+    payload = cache_.get(task->canonical);
+    if (!payload) {
+      payload = disk_cache_.get(task->canonical);
+      if (payload) cache_.put(task->canonical, *payload);
+    }
+    if (!payload) {
+      // Evicted everywhere: pretend the run is forgotten so the client
+      // falls back to resubmitting (better than an ok with no bytes).
+      conn->send_line(
+          msg_error("reason=unknown_run id=" + std::to_string(cmd.id)));
+      return;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    m_.attach_total.inc();
+  }
+  conn->send_line(msg_attached(cmd.id, "done", last_seq));
+  for (const std::string& line : replay) conn->send_line(line);
+  if (payload) send_payload(*conn, cmd.id, /*cached=*/true, *payload);
+  conn->send_line(msg_done(cmd.id, status));
+}
+
 void Daemon::executor_loop() {
   while (true) {
     std::shared_ptr<RunTask> task;
@@ -575,22 +831,47 @@ void Daemon::executor_loop() {
       m_.queue_depth.add(-1);
       m_.active_runs.add(1);
     }
+    task->started.store(true, std::memory_order_release);
+    journal_.started(task->id);
     m_.admission_wait.observe_ns(monotonic_now_ns() - task->admitted_ns);
     execute(task);
     {
       const std::lock_guard<std::mutex> lock(mu_);
       m_.active_runs.add(-1);
       active_.erase(task->id);
+      recent_.push_back(task);
+      if (recent_.size() > kRecentRuns) recent_.pop_front();
     }
+    cv_drain_.notify_all();
   }
 }
 
 void Daemon::execute(const std::shared_ptr<RunTask>& task) {
   const std::uint64_t start_ns = monotonic_now_ns();
+  // The run's single terminal transition.  Order matters: outcome
+  // counters were already bumped under mu_ (a client that reads DONE and
+  // immediately asks STATS must see its run counted) and the journal's
+  // terminal record is fsync'd BEFORE any wire byte — a DONE a client saw
+  // is a DONE a restarted daemon remembers.  Then, under sub_mu, the
+  // final lines go to every subscriber and the subscriber list is
+  // dropped: a finished task must not keep client fds open, and ATTACH
+  // observes terminal_status to replay the outcome instead of joining.
+  const auto finish = [&](const std::string& status,
+                          const std::string* error_line,
+                          const std::string* payload, bool cached) {
+    journal_.terminal(task->id, status);
+    const std::lock_guard<std::mutex> sub_lock(task->sub_mu);
+    task->terminal_status = status;
+    for (const auto& sub : task->subscribers) {
+      if (error_line != nullptr) sub.conn->send_line(*error_line);
+      if (payload != nullptr) send_payload(*sub.conn, task->id, cached,
+                                           *payload);
+      sub.conn->send_line(msg_done(task->id, status));
+    }
+    task->subscribers.clear();
+  };
   // Ends the run with DONE status cancelled/deadline_exceeded, whichever
   // the token firing meant.
-  // Counters are bumped BEFORE the DONE line goes out: a client that
-  // reads DONE and immediately asks STATS must see its run counted.
   const auto finish_cancelled = [&] {
     const bool deadline =
         task->deadline_fired.load(std::memory_order_acquire);
@@ -603,40 +884,85 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
     }
     (deadline ? m_.run_deadline : m_.run_cancelled)
         .observe_ns(monotonic_now_ns() - start_ns);
-    task->conn->send_line(
-        msg_done(task->id, deadline ? "deadline_exceeded" : "cancelled"));
+    finish(deadline ? "deadline_exceeded" : "cancelled", nullptr, nullptr,
+           false);
   };
   // Non-SpecError escaped the run (a bug, or an injected crash): report,
   // count, and extend the spec's crash streak — the executor survives.
   const auto finish_crashed = [&](const std::string& what) {
-    task->conn->send_line(msg_error("internal=" + what));
+    std::size_t streak = 0;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       m_.crashes.inc();
       m_.runs_error.inc();
-      const std::size_t streak = ++crash_streaks_[task->canonical];
+      streak = ++crash_streaks_[task->canonical];
       if (options_.quarantine_threshold > 0 &&
           streak == options_.quarantine_threshold)
         std::cerr << "rdcn_serve: quarantining spec after " << streak
                   << " consecutive crashes: " << task->canonical << "\n";
     }
+    journal_.quarantine_streak(task->canonical, streak);
     m_.run_error.observe_ns(monotonic_now_ns() - start_ns);
-    task->conn->send_line(msg_done(task->id, "error"));
+    const std::string error_line = msg_error("internal=" + what);
+    finish("error", &error_line, nullptr, false);
+  };
+  const auto finish_ok = [&](const std::string& payload, bool cached) {
+    bool streak_cleared = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      m_.runs_ok.inc();
+      streak_cleared = crash_streaks_.erase(task->canonical) > 0;
+    }
+    if (streak_cleared) journal_.quarantine_streak(task->canonical, 0);
+    m_.run_ok.observe_ns(monotonic_now_ns() - start_ns);
+    finish("ok", nullptr, &payload, cached);
   };
 
   if (task->cancel.cancelled()) {  // cancelled while still queued
     finish_cancelled();
     return;
   }
-  scenario::RunHooks hooks;
-  hooks.cancel = task->cancel;
-  hooks.on_checkpoint = [task](const std::string& label, std::uint64_t seed,
-                               const sim::Checkpoint& checkpoint) {
-    if (task->conn->broken.load(std::memory_order_relaxed)) {
-      task->cancel.request_cancel();  // client is gone — stop burning CPU
+  if (task->recovered) {
+    // The pre-crash run may have finished with its terminal record lost
+    // (the caches commit before the journal's fsync'd done record);
+    // serve the stored bytes instead of recomputing.
+    std::optional<std::string> payload = cache_.get(task->canonical);
+    if (!payload) {
+      payload = disk_cache_.get(task->canonical);
+      if (payload) cache_.put(task->canonical, *payload);
+    }
+    if (payload) {
+      finish_ok(*payload, /*cached=*/true);
       return;
     }
-    task->conn->send_line(msg_checkpoint(task->id, label, seed, checkpoint));
+  }
+  scenario::RunHooks hooks;
+  hooks.cancel = task->cancel;
+  const bool durable = journal_.enabled();
+  hooks.on_checkpoint = [this, task, durable](const std::string& label,
+                                              std::uint64_t seed,
+                                              const sim::Checkpoint&
+                                                  checkpoint) {
+    std::uint64_t seq = 0;
+    {
+      const std::lock_guard<std::mutex> sub_lock(task->sub_mu);
+      seq = task->next_seq++;
+      std::string line =
+          msg_checkpoint(task->id, seq, label, seed, checkpoint);
+      for (const auto& sub : task->subscribers)
+        if (seq >= sub.from) sub.conn->send_line(line);
+      std::erase_if(task->subscribers, [](const RunTask::Subscriber& s) {
+        return s.conn->broken.load(std::memory_order_relaxed);
+      });
+      task->ring.emplace_back(seq, std::move(line));
+      if (task->ring.size() > kCheckpointRing) task->ring.pop_front();
+      // Nobody is listening: without a journal the run's output has no
+      // future, so stop burning CPU; with one the run is re-attachable
+      // and its result durable — let it finish.
+      if (task->subscribers.empty() && !task->recovered && !durable)
+        task->cancel.request_cancel();
+    }
+    journal_.checkpoint(task->id, seq);
   };
   try {
     if (fault::fire("serve.executor.crash"))
@@ -648,14 +974,7 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
     const std::string payload = csv.str();
     cache_.put(task->canonical, payload);
     disk_cache_.put(task->canonical, payload);
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      m_.runs_ok.inc();
-      crash_streaks_.erase(task->canonical);
-    }
-    m_.run_ok.observe_ns(monotonic_now_ns() - start_ns);
-    send_payload(*task->conn, task->id, /*cached=*/false, payload);
-    task->conn->send_line(msg_done(task->id, "ok"));
+    finish_ok(payload, /*cached=*/false);
   } catch (const CancelledError&) {
     finish_cancelled();
   } catch (const SpecError& e) {
@@ -666,8 +985,8 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
       m_.runs_error.inc();
     }
     m_.run_error.observe_ns(monotonic_now_ns() - start_ns);
-    task->conn->send_line(msg_error(e.what()));
-    task->conn->send_line(msg_done(task->id, "error"));
+    const std::string error_line = msg_error(e.what());
+    finish("error", &error_line, nullptr, false);
   } catch (const std::exception& e) {
     finish_crashed(e.what());
   } catch (...) {

@@ -30,6 +30,25 @@
 //     restarts: a restarted daemon serves previously completed specs with
 //     cached=1, bit-identical payloads.
 //
+// Run lifecycle durability (journal_dir set — serve/journal.hpp):
+//   * admissions, pickups, checkpoints, and terminals are journalled
+//     (record-before-wire-line); a crashed daemon re-enqueues every
+//     incomplete run at restart — deterministic recompute, results land
+//     in the caches — and restores quarantine streaks and the id counter;
+//   * every run keeps a bounded ring of its CHECKPOINT lines and a
+//     subscriber list: ATTACH <id> [from=<k>] (from any connection, any
+//     process, before or after a daemon restart) replays the missed
+//     checkpoints and joins the live stream;
+//   * a run with a journal armed outlives its submitter: a disconnected
+//     client orphans the run but it finishes (re-attachable, cacheable).
+//     Without a journal the old policy stands — an orphaned run is
+//     cancelled at its next checkpoint to free the executor;
+//   * SIGTERM/SIGINT (when handle_signals — self-pipe, async-signal-safe)
+//     and SHUTDOWN drain=1 begin a graceful drain: admissions refuse with
+//     ERROR reason=draining, in-flight runs get drain_ms to finish, then
+//     stragglers are cancelled cooperatively, the journal and caches are
+//     flushed, and wait_for_shutdown_command() returns.
+//
 // Failure containment:
 //   * invalid specs — parse failures, unknown components, bad parameters —
 //     report as ERROR lines (SpecError text with registry suggestions);
@@ -50,6 +69,8 @@
 //     relaxed atomic load.
 #pragma once
 
+#include <signal.h>
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -65,6 +86,7 @@
 #include "common/clock.hpp"
 #include "obs/metrics.hpp"
 #include "serve/disk_cache.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/results_cache.hpp"
 
@@ -85,6 +107,18 @@ struct ServeOptions {
   /// Directory of the persistent on-disk results cache ("" disables).
   /// Created if missing; corrupt entries are skipped at startup.
   std::string disk_cache_dir;
+  /// Directory of the write-ahead run journal ("" disables).  With a
+  /// journal, queued/running runs survive a daemon crash: at restart they
+  /// are re-enqueued (deterministic recompute), quarantine streaks are
+  /// restored, and run ids stay stable so ATTACH works across restarts.
+  std::string journal_dir;
+  /// Milliseconds a graceful drain (signal or SHUTDOWN drain=1) waits for
+  /// in-flight runs before cancelling the stragglers cooperatively.
+  std::uint64_t drain_ms = 5000;
+  /// Install SIGTERM/SIGINT handlers (self-pipe trick) that trigger a
+  /// graceful drain.  Off by default: embedding processes and tests own
+  /// their signal dispositions; rdcn_serve's main() turns it on.
+  bool handle_signals = false;
   /// Worker threads per run's trial parallelism (0 = all cores).
   std::size_t threads = 0;
   /// Hint returned with REJECT responses.
@@ -149,6 +183,12 @@ class Daemon {
                       const std::string& line);
   void handle_run(const std::shared_ptr<Connection>& conn,
                   const Command& cmd);
+  void handle_attach(const std::shared_ptr<Connection>& conn,
+                     const Command& cmd);
+  /// Starts the graceful drain exactly once (signal, SHUTDOWN drain=1).
+  void begin_drain();
+  void drain_loop();
+  void signal_loop();
   void executor_loop();
   void execute(const std::shared_ptr<RunTask>& task);
   void watchdog_loop();
@@ -176,6 +216,8 @@ class Daemon {
     obs::Counter& crashes;        ///< non-SpecError escapes (subset of error)
     obs::Counter& rejected;
     obs::Counter& quarantined;
+    obs::Counter& recovered;      ///< runs re-enqueued from the journal
+    obs::Counter& attach_total;   ///< successful ATTACH subscriptions
     obs::Gauge& queue_depth;
     obs::Gauge& active_runs;
     obs::Histogram& admission_wait;  ///< admission -> executor pickup
@@ -183,9 +225,11 @@ class Daemon {
     obs::Histogram& run_cancelled;
     obs::Histogram& run_deadline;
     obs::Histogram& run_error;
+    obs::Histogram& drain_seconds;   ///< graceful-drain duration
   } m_;
   ResultsCache cache_;
   DiskCache disk_cache_;
+  Journal journal_;
   int listen_fd_ = -1;
 
   mutable std::mutex mu_;
@@ -196,6 +240,11 @@ class Daemon {
   /// Queued + running tasks by id (CANCEL looks up here); erased when the
   /// run reaches its DONE line.
   std::unordered_map<std::uint64_t, std::shared_ptr<RunTask>> active_;
+  /// Recently finished tasks, oldest first (bounded): ATTACH to a run
+  /// that just completed replays its checkpoint ring and terminal from
+  /// here.  Terminal tasks hold no Connection refs (subscribers are
+  /// cleared at DONE), so this retains no client fds.
+  std::deque<std::shared_ptr<RunTask>> recent_;
   /// Armed deadlines, earliest first; entries for finished runs expire
   /// harmlessly (weak_ptr).
   std::multimap<MonotonicClock::time_point, std::weak_ptr<RunTask>>
@@ -211,12 +260,22 @@ class Daemon {
   std::uint64_t next_id_ = 1;
   bool started_ = false;
   bool shutdown_requested_ = false;
+  /// Admissions refuse with ERROR reason=draining while the drain thread
+  /// waits for in-flight runs (guarded by mu_).
+  bool draining_ = false;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_requested_{false};
   std::thread accept_thread_;
   std::thread watchdog_thread_;
   std::thread metrics_thread_;
+  std::thread drain_thread_;
+  std::thread signal_thread_;
+  int signal_pipe_[2] = {-1, -1};  ///< self-pipe: handler writes, loop reads
+  struct sigaction old_term_ {};
+  struct sigaction old_int_ {};
   std::condition_variable cv_metrics_;  ///< wakes the dump thread at stop
+  std::condition_variable cv_drain_;    ///< drain waits for active_ empty
   std::vector<std::thread> executors_;
 };
 

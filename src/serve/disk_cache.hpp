@@ -34,14 +34,15 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/crc32.hpp"
 #include "obs/metrics.hpp"
 
 namespace rdcn::serve {
 
-/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the checksum guarding
-/// disk-cache entries.  Exposed for tests that forge/corrupt entries.
-std::uint32_t crc32(const void* data, std::size_t size,
-                    std::uint32_t seed = 0);
+/// The checksum guarding disk-cache entries (shared with the run
+/// journal — see common/crc32.hpp).  Kept in this namespace for the
+/// tests that forge/corrupt entries.
+using rdcn::crc32;
 
 class DiskCache {
  public:

@@ -99,15 +99,53 @@ Command parse_command(const std::string& line) {
     } else {
       cmd.kind = Command::Kind::kCancel;
     }
+  } else if (verb == "ATTACH") {
+    const std::size_t space = rest.find(' ');
+    const std::string id_text = rest.substr(0, space);
+    if (!parse_u64(id_text, cmd.id)) {
+      cmd.error = "ATTACH needs a run id ('ATTACH <id> [from=<k>]')";
+    } else {
+      cmd.kind = Command::Kind::kAttach;
+      std::size_t pos = space;
+      while (pos != std::string::npos && pos < rest.size()) {
+        while (pos < rest.size() && rest[pos] == ' ') ++pos;
+        if (pos >= rest.size()) break;
+        const std::size_t end = rest.find(' ', pos);
+        const std::string token =
+            rest.substr(pos, end == std::string::npos ? std::string::npos
+                                                      : end - pos);
+        constexpr const char* kFromKey = "from=";
+        if (token.compare(0, 5, kFromKey) == 0 &&
+            parse_u64(token.substr(5), cmd.from) && cmd.from > 0) {
+          pos = end;
+          continue;
+        }
+        cmd.kind = Command::Kind::kInvalid;
+        cmd.error = "unrecognized ATTACH option '" + token +
+                    "'; known: from=<positive integer>";
+        break;
+      }
+    }
   } else if (verb == "STATS") {
     cmd.kind = Command::Kind::kStats;
   } else if (verb == "METRICS") {
     cmd.kind = Command::Kind::kMetrics;
   } else if (verb == "SHUTDOWN") {
-    cmd.kind = Command::Kind::kShutdown;
+    if (rest.empty()) {
+      cmd.kind = Command::Kind::kShutdown;
+    } else if (rest == "drain=1") {
+      cmd.kind = Command::Kind::kShutdown;
+      cmd.drain = true;
+    } else if (rest == "drain=0") {
+      cmd.kind = Command::Kind::kShutdown;
+    } else {
+      cmd.error = "unrecognized SHUTDOWN option '" + rest +
+                  "'; known: drain=<0|1>";
+    }
   } else {
-    cmd.error = "unknown command '" + verb +
-                "'; known: PING, RUN, CANCEL, STATS, METRICS, SHUTDOWN";
+    cmd.error =
+        "unknown command '" + verb +
+        "'; known: PING, RUN, CANCEL, ATTACH, STATS, METRICS, SHUTDOWN";
   }
   return cmd;
 }
@@ -136,10 +174,18 @@ std::string msg_cancelling(std::uint64_t id) {
   return "CANCELLING id=" + std::to_string(id);
 }
 
-std::string msg_checkpoint(std::uint64_t id, const std::string& label,
-                           std::uint64_t seed, const sim::Checkpoint& c) {
-  return "CHECKPOINT id=" + std::to_string(id) + " label=" +
-         sanitize(label) + " seed=" + std::to_string(seed) +
+std::string msg_attached(std::uint64_t id, const std::string& state,
+                         std::uint64_t last_seq) {
+  return "ATTACHED id=" + std::to_string(id) + " state=" + state +
+         " last_seq=" + std::to_string(last_seq);
+}
+
+std::string msg_checkpoint(std::uint64_t id, std::uint64_t seq,
+                           const std::string& label, std::uint64_t seed,
+                           const sim::Checkpoint& c) {
+  return "CHECKPOINT id=" + std::to_string(id) +
+         " seq=" + std::to_string(seq) + " label=" + sanitize(label) +
+         " seed=" + std::to_string(seed) +
          " requests=" + std::to_string(c.requests) +
          " routing=" + std::to_string(c.routing_cost) +
          " total=" + std::to_string(c.total_cost) +
@@ -169,7 +215,9 @@ std::string msg_stats(const StatsReport& r) {
          " rejected=" + std::to_string(r.rejected) +
          " quarantined=" + std::to_string(r.quarantined) +
          " disk_hits=" + std::to_string(r.disk_hits) +
-         " disk_corrupt=" + std::to_string(r.disk_corrupt);
+         " disk_corrupt=" + std::to_string(r.disk_corrupt) +
+         " recovered=" + std::to_string(r.recovered) +
+         " attached=" + std::to_string(r.attached);
 }
 
 StatsReport parse_stats(const std::string& attrs) {
@@ -187,6 +235,8 @@ StatsReport parse_stats(const std::string& attrs) {
   r.quarantined = attr_u64(attrs, "quarantined");
   r.disk_hits = attr_u64(attrs, "disk_hits");
   r.disk_corrupt = attr_u64(attrs, "disk_corrupt");
+  r.recovered = attr_u64(attrs, "recovered");
+  r.attached = attr_u64(attrs, "attached");
   return r;
 }
 
@@ -214,9 +264,15 @@ ServerLine parse_server_line(const std::string& line) {
   } else if (verb == "CANCELLING") {
     out.kind = ServerLine::Kind::kCancelling;
     out.id = attr_u64(rest, "id");
+  } else if (verb == "ATTACHED") {
+    out.kind = ServerLine::Kind::kAttached;
+    out.id = attr_u64(rest, "id");
+    out.status = attr(rest, "state");
+    out.seq = attr_u64(rest, "last_seq");
   } else if (verb == "CHECKPOINT") {
     out.kind = ServerLine::Kind::kCheckpoint;
     out.id = attr_u64(rest, "id");
+    out.seq = attr_u64(rest, "seq");
     out.text = rest;
   } else if (verb == "RESULT") {
     out.kind = ServerLine::Kind::kResult;

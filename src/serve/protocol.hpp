@@ -16,9 +16,18 @@
 //                                 admission is cancelled cooperatively and
 //                                 finishes DONE status=deadline_exceeded
 //   CANCEL <id>                   cooperative cancel of a submitted run
+//   ATTACH <id> [from=<k>]        resubscribe to a queued/running/recently
+//                                 finished run (ids are stable across
+//                                 daemon restarts when a journal is
+//                                 armed); missed CHECKPOINT lines with
+//                                 seq >= k replay from a bounded per-run
+//                                 ring, then the stream continues live
 //   STATS                         queue/cache/failure counters
 //   METRICS                       full Prometheus text exposition
-//   SHUTDOWN                      stop the daemon
+//   SHUTDOWN [drain=<0|1>]        stop the daemon; drain=1 stops
+//                                 admissions, lets in-flight runs finish
+//                                 (bounded by the daemon's --drain-ms),
+//                                 then exits
 //
 // Server → client:
 //
@@ -34,15 +43,22 @@
 //   ACCEPTED id=<n>               run admitted (queued or cache hit)
 //   REJECT retry_ms=<n> reason=queue_full   backpressure: try again later
 //   CANCELLING id=<n>             cancel request acknowledged
-//   CHECKPOINT id=<n> label=<l> seed=<s> requests=<r> routing=<c>
-//              total=<c> wall=<sec>        one line per trial checkpoint
+//   ATTACHED id=<n> state=<queued|running|done> last_seq=<m>
+//                                 ATTACH accepted; replayed CHECKPOINTs
+//                                 (if any) and the rest of the run's
+//                                 stream follow.  last_seq is the highest
+//                                 checkpoint seq emitted so far.
+//   CHECKPOINT id=<n> seq=<m> label=<l> seed=<s> requests=<r> routing=<c>
+//              total=<c> wall=<sec>        one line per trial checkpoint;
+//                                 seq numbers a run's checkpoints from 1
+//                                 so ATTACH from=<k> can resume exactly
 //   RESULT id=<n> cached=<0|1> lines=<k>   followed by k raw CSV lines
 //   DONE id=<n> status=<ok|cancelled|deadline_exceeded|error>
 //                                 run finished (terminal)
 //   STATS active=<n> queued=<n> cache_hits=<n> cache_misses=<n>
 //         cache_entries=<n> completed=<n> cancelled=<n>
 //         deadline_exceeded=<n> crashed=<n> rejected=<n> quarantined=<n>
-//         disk_hits=<n> disk_corrupt=<n>
+//         disk_hits=<n> disk_corrupt=<n> recovered=<n> attached=<n>
 //   METRICS lines=<k>             followed by k raw Prometheus text
 //                                 exposition lines (obs registry render);
 //                                 header + payload travel as one write
@@ -69,6 +85,7 @@ struct Command {
     kPing,
     kRun,
     kCancel,
+    kAttach,
     kStats,
     kMetrics,
     kShutdown,
@@ -76,8 +93,10 @@ struct Command {
   };
   Kind kind = Kind::kInvalid;
   std::string spec;       ///< kRun: the scenario spec text
-  std::uint64_t id = 0;   ///< kCancel: the run id
+  std::uint64_t id = 0;   ///< kCancel/kAttach: the run id
   std::uint64_t deadline_ms = 0;  ///< kRun: watchdog deadline (0 = none)
+  std::uint64_t from = 1;  ///< kAttach: first checkpoint seq to replay
+  bool drain = false;      ///< kShutdown: finish in-flight runs first
   std::string error;      ///< kInvalid: what was wrong
 };
 
@@ -103,6 +122,8 @@ struct StatsReport {
   std::uint64_t quarantined = 0;  ///< submissions refused as quarantined
   std::uint64_t disk_hits = 0;    ///< runs served from the on-disk cache
   std::uint64_t disk_corrupt = 0;  ///< corrupt disk entries skipped
+  std::uint64_t recovered = 0;  ///< runs re-enqueued from the journal
+  std::uint64_t attached = 0;   ///< successful ATTACH subscriptions
 };
 StatsReport parse_stats(const std::string& attrs);
 
@@ -115,8 +136,12 @@ std::string msg_error(const std::string& what);
 std::string msg_accepted(std::uint64_t id);
 std::string msg_reject(std::uint32_t retry_ms);
 std::string msg_cancelling(std::uint64_t id);
-std::string msg_checkpoint(std::uint64_t id, const std::string& label,
-                           std::uint64_t seed, const sim::Checkpoint& c);
+/// ATTACHED reply: `state` is queued | running | done.
+std::string msg_attached(std::uint64_t id, const std::string& state,
+                         std::uint64_t last_seq);
+std::string msg_checkpoint(std::uint64_t id, std::uint64_t seq,
+                           const std::string& label, std::uint64_t seed,
+                           const sim::Checkpoint& c);
 std::string msg_result(std::uint64_t id, bool cached, std::size_t lines);
 std::string msg_done(std::uint64_t id, const std::string& status);
 std::string msg_stats(const StatsReport& report);
@@ -132,6 +157,7 @@ struct ServerLine {
     kAccepted,
     kReject,
     kCancelling,
+    kAttached,
     kCheckpoint,
     kResult,
     kDone,
@@ -146,7 +172,8 @@ struct ServerLine {
   std::uint32_t retry_ms = 0;  ///< kReject
   bool cached = false;         ///< kResult
   std::size_t lines = 0;       ///< kResult/kMetrics: payload line count
-  std::string status;          ///< kDone: ok | cancelled | ... | error
+  std::string status;          ///< kDone: ok|...|error; kAttached: state
+  std::uint64_t seq = 0;  ///< kCheckpoint: seq; kAttached: last_seq
 };
 
 /// Parses one server line.  Never throws; unknown verbs yield kOther.

@@ -126,6 +126,56 @@ TEST(Protocol, ParsesRunDeadlineOption) {
   EXPECT_EQ(parse_command("RUN w=z bogus=1").kind, Command::Kind::kInvalid);
 }
 
+TEST(Protocol, ParsesAttachCommand) {
+  const Command plain = parse_command("ATTACH 17");
+  EXPECT_EQ(plain.kind, Command::Kind::kAttach);
+  EXPECT_EQ(plain.id, 17u);
+  EXPECT_EQ(plain.from, 1u);  // default: replay everything
+  const Command resumed = parse_command("ATTACH 17 from=5");
+  EXPECT_EQ(resumed.kind, Command::Kind::kAttach);
+  EXPECT_EQ(resumed.id, 17u);
+  EXPECT_EQ(resumed.from, 5u);
+  // Missing/garbled id, zero or non-numeric from, unknown options: all
+  // refused, never guessed at.
+  EXPECT_EQ(parse_command("ATTACH").kind, Command::Kind::kInvalid);
+  EXPECT_EQ(parse_command("ATTACH x7").kind, Command::Kind::kInvalid);
+  EXPECT_EQ(parse_command("ATTACH 1 from=0").kind, Command::Kind::kInvalid);
+  EXPECT_EQ(parse_command("ATTACH 1 from=abc").kind, Command::Kind::kInvalid);
+  EXPECT_EQ(parse_command("ATTACH 1 bogus=2").kind, Command::Kind::kInvalid);
+}
+
+TEST(Protocol, ParsesShutdownDrainOption) {
+  EXPECT_FALSE(parse_command("SHUTDOWN").drain);
+  const Command drain = parse_command("SHUTDOWN drain=1");
+  EXPECT_EQ(drain.kind, Command::Kind::kShutdown);
+  EXPECT_TRUE(drain.drain);
+  const Command immediate = parse_command("SHUTDOWN drain=0");
+  EXPECT_EQ(immediate.kind, Command::Kind::kShutdown);
+  EXPECT_FALSE(immediate.drain);
+  EXPECT_EQ(parse_command("SHUTDOWN drain=2").kind, Command::Kind::kInvalid);
+  EXPECT_EQ(parse_command("SHUTDOWN bogus").kind, Command::Kind::kInvalid);
+}
+
+TEST(Protocol, AttachedLineRoundTrips) {
+  const ServerLine at = parse_server_line(msg_attached(9, "running", 4));
+  EXPECT_EQ(at.kind, ServerLine::Kind::kAttached);
+  EXPECT_EQ(at.id, 9u);
+  EXPECT_EQ(at.status, "running");
+  EXPECT_EQ(at.seq, 4u);
+}
+
+TEST(Protocol, CheckpointLineCarriesSeq) {
+  sim::Checkpoint c;
+  c.requests = 100;
+  c.routing_cost = 7;
+  c.total_cost = 9;
+  const ServerLine line =
+      parse_server_line(msg_checkpoint(3, 12, "bma", 42, c));
+  EXPECT_EQ(line.kind, ServerLine::Kind::kCheckpoint);
+  EXPECT_EQ(line.id, 3u);
+  EXPECT_EQ(line.seq, 12u);
+}
+
 TEST(Protocol, StatsReportRoundTrips) {
   StatsReport r;
   r.active = 1;
@@ -141,6 +191,8 @@ TEST(Protocol, StatsReportRoundTrips) {
   r.quarantined = 11;
   r.disk_hits = 12;
   r.disk_corrupt = 13;
+  r.recovered = 14;
+  r.attached = 15;
   const ServerLine line = parse_server_line(msg_stats(r));
   ASSERT_EQ(line.kind, ServerLine::Kind::kStats);
   const StatsReport parsed = parse_stats(line.text);
@@ -157,6 +209,8 @@ TEST(Protocol, StatsReportRoundTrips) {
   EXPECT_EQ(parsed.quarantined, 11u);
   EXPECT_EQ(parsed.disk_hits, 12u);
   EXPECT_EQ(parsed.disk_corrupt, 13u);
+  EXPECT_EQ(parsed.recovered, 14u);
+  EXPECT_EQ(parsed.attached, 15u);
 }
 
 TEST(Protocol, DoneStatusCarriesDeadlineExceeded) {
