@@ -13,6 +13,12 @@
 #            deterministic) fault spec armed: the client's retry loop
 #            must still land an ok run with identical bytes, and SIGTERM
 #            must still exit 0.
+#   round 4  multi-tenant overload: two greedy clients hammer a
+#            one-executor daemon under per-client quotas while a light
+#            priority-2 tenant submits one small run — everyone's retry
+#            loops must land ok runs (the light one without starving),
+#            the per-client admission metrics must be exposed, and the
+#            daemon must still drain to exit 0.
 #
 # Registered as the tier2 ctest rdcn_chaos_soak (release CI job only);
 # the ctest TIMEOUT is the no-hang backstop.
@@ -147,5 +153,49 @@ wait "$DAEMON_PID"
 rc=$?
 [ "$rc" -eq 0 ] || fail "round 3 SIGTERM exited $rc: $(cat "$WORK/daemon_c.log")"
 echo "chaos_soak: round 3 ok (faults '${FAULT:-none}')"
+
+# ---- round 4: multi-tenant overload under quotas ----------------------
+# Fresh dirs: cached results from earlier rounds would answer the greedy
+# submissions instantly and there would be no contention to survive.
+# quota-rps=1 guarantees each greedy client's second submission is
+# REJECTed (reason=quota) at least once and must come back through the
+# retry loop; the light tenant has its own untouched bucket and lane.
+GSPEC='workload=zipf:skew=1.1;algorithms=bma;b=4;racks=16;requests=400000;trials=1;checkpoints=8'
+LSPEC='workload=zipf:skew=1.1;algorithms=bma;b=2;racks=8;requests=4000;trials=1;checkpoints=2;seed=9'
+"$SERVE" --socket="$WORK/d.sock" --executors=1 --threads=1 --queue=8 \
+  --quota-rps=1 --quota-burst=1 --quota-concurrent=4 --max-rss-mb=8192 \
+  --progress-timeout-ms=60000 >"$WORK/daemon_d.log" 2>&1 &
+DAEMON_PID=$!
+wait_for "$WORK/daemon_d.log" "listening"
+
+"$CLIENT" --socket="$WORK/d.sock" --client=greedy1 --retries=10 \
+  "--spec=${GSPEC};seed=5" "--spec2=${GSPEC};seed=6" --quiet \
+  >"$WORK/greedy1.log" 2>&1 &
+GREEDY1=$!
+"$CLIENT" --socket="$WORK/d.sock" --client=greedy2 --retries=10 \
+  "--spec=${GSPEC};seed=7" "--spec2=${GSPEC};seed=8" --quiet \
+  >"$WORK/greedy2.log" 2>&1 &
+GREEDY2=$!
+
+# The light tenant arrives behind the greedy backlog and must still get
+# served promptly: fair admission + priority 2 keep its lane alive.
+"$CLIENT" --socket="$WORK/d.sock" --client=light --priority=2 --retries=10 \
+  "--spec=$LSPEC" --metrics-out="$WORK/overload_metrics.txt" --quiet \
+  >"$WORK/light.log" 2>&1 || fail "light tenant failed: $(cat "$WORK/light.log")"
+grep -q "run: status=ok" "$WORK/light.log" ||
+  fail "light tenant's run did not finish ok: $(cat "$WORK/light.log")"
+grep -q 'client="light"' "$WORK/overload_metrics.txt" ||
+  fail "per-client admission metrics missing the light tenant"
+
+wait "$GREEDY1" || fail "greedy1 failed: $(cat "$WORK/greedy1.log")"
+wait "$GREEDY2" || fail "greedy2 failed: $(cat "$WORK/greedy2.log")"
+grep -q "run: status=ok" "$WORK/greedy1.log" ||
+  fail "greedy1's runs did not finish ok: $(cat "$WORK/greedy1.log")"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+rc=$?
+[ "$rc" -eq 0 ] || fail "round 4 SIGTERM exited $rc: $(cat "$WORK/daemon_d.log")"
+echo "chaos_soak: round 4 ok (two greedy tenants + one light, quotas honored)"
 
 echo "chaos_soak: OK"

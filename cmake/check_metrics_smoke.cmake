@@ -67,6 +67,11 @@ foreach(required IN ITEMS
     "rdcn_serve_active_runs"
     "rdcn_serve_rejected_total"
     "rdcn_serve_quarantined_total"
+    "rdcn_serve_shed_total"
+    "rdcn_serve_brownout_level"
+    "rdcn_serve_queue_wait_seconds_bucket"
+    "rdcn_serve_runs_total{status=\"stalled\"} "
+    "rdcn_serve_client_admitted_total{client=\"anon\"} [1-9]"
     "rdcn_fault_fires_total"
     "rdcn_journal_appends_total"
     "rdcn_journal_replayed_total"

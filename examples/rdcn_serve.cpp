@@ -55,6 +55,25 @@ constexpr const char* kUsage =
     "  --retry-ms=N      retry hint sent with REJECT (default 200)\n"
     "  --quarantine=N    consecutive executor crashes before a spec is\n"
     "                    quarantined, 0 disables (default 3)\n"
+    "  --quarantine-ttl-s=N\n"
+    "                    forget a crash streak untouched for N seconds,\n"
+    "                    0 = never (default 0); RESET clears streaks now\n"
+    "  --quota-rps=R     default per-client token-bucket rate (runs/s),\n"
+    "                    0 = unlimited (default 0)\n"
+    "  --quota-burst=N   default bucket depth (default 2x rps)\n"
+    "  --quota-concurrent=N\n"
+    "                    default per-client in-flight cap, 0 = unlimited\n"
+    "  --quota-file=PATH per-client overrides: '<name> rps= burst=\n"
+    "                    concurrent=' per line ('default'/'*' sets the\n"
+    "                    baseline; see serve/admission.hpp)\n"
+    "  --max-rss-mb=N    brownout high-water mark on resident set size,\n"
+    "                    0 disables RSS-driven shedding (default 0)\n"
+    "  --shed-cost-limit=N\n"
+    "                    under brownout, also shed non-critical runs whose\n"
+    "                    estimated cost exceeds N units (default 0 = off)\n"
+    "  --progress-timeout-ms=N\n"
+    "                    cancel a run whose checkpoints stop advancing for\n"
+    "                    N ms (DONE status=stalled), 0 disables (default 0)\n"
     "  --faults=SPEC     arm fault-injection points (testing/incident\n"
     "                    repro; same syntax as RDCN_FAULTS — see\n"
     "                    common/fault.hpp)\n"
@@ -66,8 +85,10 @@ constexpr const char* kUsage =
     "                    snapshot period for --metrics-dump (default 1000)\n"
     "  --help            this text\n"
     "\n"
-    "protocol: PING | RUN <spec> [deadline_ms=<n>] | CANCEL <id> |\n"
-    "          ATTACH <id> [from=<k>] | STATS | METRICS |\n"
+    "protocol: PING | HELLO client=<name> |\n"
+    "          RUN <spec> [deadline_ms=<n>] [client=<name>] [priority=<0-2>]\n"
+    "          | CANCEL <id> | ATTACH <id> [from=<k>] |\n"
+    "          RESET spec=<canonical> | RESET all=1 | STATS | METRICS |\n"
     "          SHUTDOWN [drain=<0|1>]\n"
     "see README.md ('Serving mode' and 'Observability') for the full\n"
     "cookbook.\n";
@@ -84,7 +105,9 @@ int main(int argc, char** argv) {
   }
   const auto unknown = flags.unknown_flags(
       {"socket", "queue", "executors", "cache", "disk-cache", "journal",
-       "drain-ms", "threads", "retry-ms", "quarantine", "faults",
+       "drain-ms", "threads", "retry-ms", "quarantine", "quarantine-ttl-s",
+       "quota-rps", "quota-burst", "quota-concurrent", "quota-file",
+       "max-rss-mb", "shed-cost-limit", "progress-timeout-ms", "faults",
        "metrics-dump", "metrics-dump-ms", "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
@@ -106,6 +129,14 @@ int main(int argc, char** argv) {
     options.retry_hint_ms =
         static_cast<std::uint32_t>(flags.get_uint("retry-ms", 200));
     options.quarantine_threshold = flags.get_uint("quarantine", 3);
+    options.quarantine_ttl_s = flags.get_uint("quarantine-ttl-s", 0);
+    options.quota_rps = flags.get_double("quota-rps", 0);
+    options.quota_burst = flags.get_double("quota-burst", 0);
+    options.quota_concurrent = flags.get_uint("quota-concurrent", 0);
+    options.quota_file = flags.get("quota-file", "");
+    options.max_rss_mb = flags.get_uint("max-rss-mb", 0);
+    options.shed_cost_limit = flags.get_uint("shed-cost-limit", 0);
+    options.progress_timeout_ms = flags.get_uint("progress-timeout-ms", 0);
     options.faults = flags.get("faults", "");
     options.metrics_dump_path = flags.get("metrics-dump", "");
     options.metrics_dump_ms = flags.get_uint("metrics-dump-ms", 1000);

@@ -45,6 +45,12 @@ constexpr const char* kUsage =
     "  --attach=ID     instead of submitting, ATTACH to run ID (queued,\n"
     "                  running, or recently finished — ids survive daemon\n"
     "                  restarts when the daemon journals) and collect it\n"
+    "  --client=NAME   HELLO handshake: bind this connection to NAME's\n"
+    "                  quota and fairness lane (default anonymous)\n"
+    "  --priority=N    RUN priority 0-2; under daemon brownout lower\n"
+    "                  priorities are shed first (default 1)\n"
+    "  --reset=SPEC    clear the quarantine streak for canonical SPEC\n"
+    "                  ('all' clears every streak) and report the count\n"
     "  --csv=FILE      write the first run's CSV payload to FILE\n"
     "  --csv2=FILE     write the second run's CSV payload to FILE\n"
     "  --deadline-ms=N ask the daemon to abandon a run N ms after\n"
@@ -132,8 +138,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = flags.unknown_flags(
-      {"socket", "daemon", "spec", "spec2", "attach", "csv", "csv2",
-       "deadline-ms", "retries", "metrics-out", "quiet", "help"});
+      {"socket", "daemon", "spec", "spec2", "attach", "client", "priority",
+       "reset", "csv", "csv2", "deadline-ms", "retries", "metrics-out",
+       "quiet", "help"});
   if (!unknown.empty()) {
     for (const auto& f : unknown) std::cerr << "unknown flag: --" << f << "\n";
     std::cerr << "\n" << kUsage;
@@ -164,6 +171,15 @@ int main(int argc, char** argv) {
     serve::Client client;
     client.connect(socket_path);  // retries while a spawned daemon binds
     client.ping();
+    if (flags.has("client")) client.hello(flags.get("client"));
+    client.set_priority(static_cast<int>(flags.get_uint("priority", 1)));
+    if (flags.has("reset")) {
+      const std::string target = flags.get("reset");
+      const std::size_t cleared = target == "all"
+                                      ? client.reset_all()
+                                      : client.reset_quarantine(target);
+      std::cout << "reset: cleared=" << cleared << "\n";
+    }
 
     const bool quiet = flags.get_bool("quiet", false);
     serve::Client::RetryPolicy policy;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 
 namespace rdcn::obs {
 
@@ -89,6 +90,16 @@ void span_exit(TraceNode* node, std::uint64_t elapsed_ns) {
 
 void set_tracing(bool on) {
   detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+const char* intern_span_name(const std::string& name) {
+  // Leaked like the trace nodes that will point into it (and for the
+  // same LeakSanitizer reason); std::set node stability makes the
+  // returned c_str() immortal.
+  static auto* names = new std::set<std::string>();
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  return names->insert(name).first->c_str();
 }
 
 namespace {

@@ -48,6 +48,14 @@ inline bool tracing_enabled() noexcept {
 /// exit if they observed it on on entry.
 void set_tracing(bool on);
 
+/// Stable storage for a dynamically-built span name ("algo." + name):
+/// ObsSpan keeps only the pointer, so the bytes must outlive every node
+/// that references them.  Interned strings live forever (the set is
+/// bounded by distinct names — registry entries, not requests).  Returns
+/// the same pointer for the same name, keeping span_enter's pointer-
+/// equality fast path effective.
+const char* intern_span_name(const std::string& name);
+
 class ObsSpan {
  public:
   explicit ObsSpan(const char* name) noexcept {

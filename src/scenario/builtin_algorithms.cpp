@@ -114,6 +114,9 @@ void register_builtin_algorithms(AlgorithmRegistry& registry) {
                  "true"},
                 {"passes", "local-search passes", "8"}};
     e.needs_full_trace = true;
+    // Builds one global max-weight matching with local-search passes over
+    // the full trace — far heavier per request than an online matcher.
+    e.cost_weight = 4.0;
     e.build = [](const core::Instance& instance, const ParamMap& params,
                  const trace::Trace* full_trace, std::uint64_t) {
       core::SoBmaOptions options;
@@ -135,6 +138,8 @@ void register_builtin_algorithms(AlgorithmRegistry& registry) {
                  "1.0"},
                 {"local_search", "refine each window's matching", "true"}};
     e.needs_full_trace = true;
+    // Per-window heavy matchings: the costliest entry in the portfolio.
+    e.cost_weight = 8.0;
     e.build = [](const core::Instance& instance, const ParamMap& params,
                  const trace::Trace* full_trace, std::uint64_t) {
       core::OfflineDynamicOptions options;

@@ -64,6 +64,12 @@ struct AlgorithmEntry {
   bool needs_full_trace = false;
   /// Ignores b (a sweep over cache sizes needs only one run).
   bool b_independent = false;
+  /// Relative per-request compute weight for serve-side admission cost
+  /// estimates (serve/admission.hpp estimate_cost): 1.0 = an ordinary
+  /// online matcher; offline comparators and other super-linear
+  /// algorithms declare themselves heavier so fair queueing charges them
+  /// honestly.  Purely advisory — never affects results.
+  double cost_weight = 1.0;
   std::function<std::unique_ptr<core::OnlineBMatcher>(
       const core::Instance& instance, const ParamMap& params,
       const trace::Trace* full_trace, std::uint64_t seed)>

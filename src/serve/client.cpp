@@ -50,6 +50,7 @@ void Client::disconnect() {
     fd_ = -1;
   }
   buffer_.clear();
+  pending_.clear();
 }
 
 void Client::connect(const std::string& socket_path, int timeout_ms) {
@@ -79,6 +80,22 @@ void Client::reconnect(int timeout_ms) {
   if (socket_path_.empty())
     throw SpecError("reconnect before any connect()");
   connect(socket_path_, timeout_ms);
+  // A fresh connection is anonymous; replay the HELLO binding so retried
+  // submissions keep charging the same quota/fairness lane.
+  if (!client_name_.empty()) {
+    const std::string name = client_name_;
+    client_name_.clear();  // hello() re-sets it on success
+    hello(name);
+  }
+}
+
+void Client::hello(const std::string& client) {
+  send_line("HELLO client=" + client);
+  const std::string reply = read_line();
+  const ServerLine line = parse_server_line(reply);
+  if (line.kind != ServerLine::Kind::kWelcome || line.text != client)
+    throw SpecError("unexpected HELLO reply: " + reply);
+  client_name_ = client;
 }
 
 void Client::send_line(const std::string& line) {
@@ -99,6 +116,17 @@ void Client::send_line(const std::string& line) {
 }
 
 std::string Client::read_line() {
+  // Lines submit() stashed while hunting for its admission verdict come
+  // first — they are older than anything still in the socket.
+  if (!pending_.empty()) {
+    std::string line = std::move(pending_.front());
+    pending_.pop_front();
+    return line;
+  }
+  return read_socket_line();
+}
+
+std::string Client::read_socket_line() {
   if (fd_ < 0) throw SpecError("client is not connected");
   while (true) {
     const std::size_t pos = buffer_.find('\n');
@@ -148,14 +176,36 @@ Client::Submission Client::submit(const std::string& spec,
   std::string line = "RUN " + spec;
   if (deadline_ms > 0)
     line += " deadline_ms=" + std::to_string(deadline_ms);
+  if (priority_ != 1) line += " priority=" + std::to_string(priority_);
   send_line(line);
   Submission out;
-  ServerLine reply = parse_server_line(read_line());
+  // The verdict answers the RUN just sent, so it can only be on the
+  // socket — never in pending_, which holds older stream lines already
+  // stashed for a collect().  Popping pending_ here would reorder it and,
+  // worse, desync RESULT framing: a stashed RESULT header replayed here
+  // would make the loop below "consume" its payload from the socket,
+  // swallowing unrelated lines (this submission's verdict included).
+  std::string raw = read_socket_line();
+  ServerLine reply = parse_server_line(raw);
   // A CANCELLING ack can straggle past its run's DONE when the cancelled
   // run completed in the same instant (natural completion racing the
   // cancel); it carries no information for this submission — skip it.
-  while (reply.kind == ServerLine::Kind::kCancelling)
-    reply = parse_server_line(read_line());
+  // Stream lines from runs still in flight on this connection (pipelined
+  // submissions) also interleave with the verdict: stash those — payload
+  // blocks included — so the collect() that wants them still sees them.
+  while (reply.kind == ServerLine::Kind::kCancelling ||
+         reply.kind == ServerLine::Kind::kCheckpoint ||
+         reply.kind == ServerLine::Kind::kResult ||
+         reply.kind == ServerLine::Kind::kDone) {
+    if (reply.kind != ServerLine::Kind::kCancelling) {
+      pending_.push_back(raw);
+      if (reply.kind == ServerLine::Kind::kResult)
+        for (std::size_t i = 0; i < reply.lines; ++i)
+          pending_.push_back(read_socket_line());
+    }
+    raw = read_socket_line();
+    reply = parse_server_line(raw);
+  }
   switch (reply.kind) {
     case ServerLine::Kind::kAccepted:
       out.accepted = true;
@@ -164,6 +214,7 @@ Client::Submission Client::submit(const std::string& spec,
     case ServerLine::Kind::kReject:
       out.rejected = true;
       out.retry_ms = reply.retry_ms;
+      out.reason = reply.status;
       break;
     case ServerLine::Kind::kError:
       out.error = reply.text;
@@ -305,10 +356,15 @@ Client::RunOutput Client::run_scenario(
         return out;
       }
       if (sub.rejected) {
-        last_failure = "rejected (queue full, retry_ms=" +
-                       std::to_string(sub.retry_ms) + ")";
-        sleep_with_jitter(
-            std::max<std::uint64_t>(sub.retry_ms, backoff_ms));
+        last_failure =
+            "rejected (reason=" +
+            (sub.reason.empty() ? std::string("queue_full") : sub.reason) +
+            ", retry_ms=" + std::to_string(sub.retry_ms) + ")";
+        // The server's hint is honest but clamped: a brownout-inflated
+        // hint must not park this client for a minute on one REJECT.
+        const std::uint32_t hint =
+            std::min(sub.retry_ms, policy.max_retry_hint_ms);
+        sleep_with_jitter(std::max<std::uint64_t>(hint, backoff_ms));
         bump_backoff();
         continue;
       }
@@ -349,6 +405,22 @@ bool Client::cancel(std::uint64_t id) {
     return false;
   }
 }
+
+std::size_t Client::reset_common(const std::string& line) {
+  send_line(line);
+  while (true) {
+    const ServerLine reply = parse_server_line(read_line());
+    if (reply.kind == ServerLine::Kind::kResetOk) return reply.lines;
+    if (reply.kind == ServerLine::Kind::kCheckpoint) continue;
+    throw SpecError("unexpected RESET reply");
+  }
+}
+
+std::size_t Client::reset_quarantine(const std::string& canonical_spec) {
+  return reset_common("RESET spec=" + canonical_spec);
+}
+
+std::size_t Client::reset_all() { return reset_common("RESET all=1"); }
 
 std::string Client::stats() {
   send_line("STATS");

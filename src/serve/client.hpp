@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 
@@ -74,13 +75,23 @@ class Client {
   /// PING/PONG round-trip; throws SpecError on anything else.
   void ping();
 
+  /// HELLO handshake: binds this connection (and every reconnect made by
+  /// run_scenario) to `client`'s quota and fairness lane.  Throws
+  /// SpecError when the daemon refuses the name.
+  void hello(const std::string& client);
+
+  /// Priority attached to subsequent RUN submissions (0-2; default 1).
+  /// Under daemon brownout, lower priorities are shed first.
+  void set_priority(int priority) { priority_ = priority; }
+
   /// Admission verdict for one RUN submission.  Exactly one of
   /// accepted/rejected is set unless the spec was refused (error text).
   struct Submission {
     std::uint64_t id = 0;
     bool accepted = false;
-    bool rejected = false;        ///< backpressure: queue full
+    bool rejected = false;        ///< backpressure (see reason)
     std::uint32_t retry_ms = 0;   ///< suggested resubmit delay when rejected
+    std::string reason;           ///< "queue_full" | "quota" | "shed"
     std::string error;            ///< non-empty when the spec was refused
   };
   /// `deadline_ms` > 0 asks the daemon to abandon the run (DONE
@@ -90,7 +101,7 @@ class Client {
   /// Everything after admission, up to the run's DONE line.
   struct RunOutput {
     std::string status;     ///< "ok" | "cancelled" | "deadline_exceeded"
-                            ///< | "error"
+                            ///< | "stalled" | "error"
     bool cached = false;    ///< payload replayed from the results cache
     std::string csv;        ///< CSV payload (empty unless status "ok")
     std::size_t checkpoints = 0;  ///< progress lines seen
@@ -125,6 +136,9 @@ class Client {
     std::size_t max_attempts = 5;        ///< total submissions before giving up
     std::uint32_t base_backoff_ms = 50;
     std::uint32_t max_backoff_ms = 2'000;
+    /// Server retry hints are honored but clamped here: a brownout-inflated
+    /// hint shouldn't park a client for a minute on one REJECT.
+    std::uint32_t max_retry_hint_ms = 10'000;
     std::uint64_t jitter_seed = 0;       ///< 0 = derive from this process
     int reconnect_timeout_ms = 2'000;    ///< per reconnect attempt
   };
@@ -149,6 +163,12 @@ class Client {
   /// The run itself still terminates through collect() with status
   /// "cancelled" — cancellation is cooperative, not instant.
   bool cancel(std::uint64_t id);
+
+  /// RESET spec=<canonical>: clears one quarantine streak.  Returns the
+  /// number of streak entries cleared (0 or 1).
+  std::size_t reset_quarantine(const std::string& canonical_spec);
+  /// RESET all=1: clears every quarantine streak; returns how many.
+  std::size_t reset_all();
 
   /// The daemon's one-line STATS report, verbatim.
   std::string stats();
@@ -181,9 +201,18 @@ class Client {
   std::string read_line();
 
  private:
+  std::size_t reset_common(const std::string& line);
+  std::string read_socket_line();  ///< read_line minus the pending_ replay
+
   int fd_ = -1;
   std::string buffer_;       ///< bytes received beyond the last full line
+  /// Stream lines submit() read past while waiting for its admission
+  /// verdict (pipelined runs' CHECKPOINT/RESULT/DONE); read_line()
+  /// replays them first so collect() never misses a terminal line.
+  std::deque<std::string> pending_;
   std::string socket_path_;  ///< last connect() target, for reconnect()
+  std::string client_name_;  ///< hello() binding, replayed on reconnect
+  int priority_ = 1;         ///< RUN priority= (1 = the wire default)
   long read_timeout_seconds_ = 600;
 };
 

@@ -132,6 +132,10 @@ struct Daemon::Connection {
   const int fd;
   std::mutex write_mu;
   std::atomic<bool> broken{false};
+  /// HELLO binding: later RUNs on this connection charge this client's
+  /// quota and fairness lane ("" = anonymous).  Only the connection's own
+  /// reader thread touches it (HELLO and RUN share that thread).
+  std::string client;
 };
 
 /// An admitted run: travels from queue_ to an executor; active_ keeps it
@@ -146,10 +150,19 @@ struct Daemon::RunTask {
   /// distinguishes deadline_exceeded from a client CANCEL.
   std::atomic<bool> deadline_fired{false};
   std::atomic<bool> started{false};  ///< an executor picked it up
+  /// Set by the progress watchdog before firing `cancel` (takes priority
+  /// over deadline_fired in the terminal decision).
+  std::atomic<bool> stalled_fired{false};
   /// Re-enqueued from the journal after a restart: has no submitter, so
   /// an empty subscriber list must not auto-cancel it.
   bool recovered = false;
   std::uint64_t admitted_ns = 0;  ///< queue entry (admission-wait metric)
+  std::string client = "anon";    ///< fairness lane / quota identity
+  int priority = 1;               ///< shed order under brownout (0-2)
+  std::uint64_t cost = 1;         ///< estimated cost units (DRR charge)
+  /// Last time this run demonstrated progress (pickup or a checkpoint);
+  /// the progress watchdog cancels a run whose value goes stale.
+  std::atomic<std::uint64_t> last_progress_ns{0};
 
   /// One stream consumer.  `from` filters live/replayed CHECKPOINTs (an
   /// ATTACH from=<k> resumer already saw seq < k — relevant after a
@@ -178,12 +191,17 @@ Daemon::Metrics::Metrics(obs::Registry& r)
       runs_deadline(r.counter("rdcn_serve_runs_total",
                               "Runs by terminal status",
                               {{"status", "deadline_exceeded"}})),
+      runs_stalled(r.counter("rdcn_serve_runs_total",
+                             "Runs by terminal status",
+                             {{"status", "stalled"}})),
       runs_error(r.counter("rdcn_serve_runs_total", "Runs by terminal status",
                            {{"status", "error"}})),
       crashes(r.counter("rdcn_serve_crashes_total",
                         "Executor crashes (non-SpecError escapes)")),
       rejected(r.counter("rdcn_serve_rejected_total",
                          "Submissions refused with REJECT backpressure")),
+      shed(r.counter("rdcn_serve_shed_total",
+                     "Submissions dropped by brownout load shedding")),
       quarantined(r.counter("rdcn_serve_quarantined_total",
                             "Submissions fast-failed as quarantined")),
       recovered(r.counter("rdcn_runs_recovered_total",
@@ -194,9 +212,23 @@ Daemon::Metrics::Metrics(obs::Registry& r)
                           "Runs waiting for an executor")),
       active_runs(r.gauge("rdcn_serve_active_runs",
                           "Runs currently executing")),
+      brownout_level(r.gauge("rdcn_serve_brownout_level",
+                             "Current load-shedding level (0 = healthy)")),
       admission_wait(r.latency_histogram(
           "rdcn_serve_admission_wait_seconds",
           "Admission-to-executor-pickup queue latency")),
+      queue_wait_p0(r.latency_histogram(
+          "rdcn_serve_queue_wait_seconds",
+          "Admission-to-pickup queue latency by priority",
+          {{"priority", "0"}})),
+      queue_wait_p1(r.latency_histogram(
+          "rdcn_serve_queue_wait_seconds",
+          "Admission-to-pickup queue latency by priority",
+          {{"priority", "1"}})),
+      queue_wait_p2(r.latency_histogram(
+          "rdcn_serve_queue_wait_seconds",
+          "Admission-to-pickup queue latency by priority",
+          {{"priority", "2"}})),
       run_ok(r.latency_histogram("rdcn_serve_run_seconds",
                                  "Executor run latency by terminal status",
                                  {{"status", "ok"}})),
@@ -208,6 +240,10 @@ Daemon::Metrics::Metrics(obs::Registry& r)
           "rdcn_serve_run_seconds",
           "Executor run latency by terminal status",
           {{"status", "deadline_exceeded"}})),
+      run_stalled(r.latency_histogram(
+          "rdcn_serve_run_seconds",
+          "Executor run latency by terminal status",
+          {{"status", "stalled"}})),
       run_error(r.latency_histogram("rdcn_serve_run_seconds",
                                     "Executor run latency by terminal status",
                                     {{"status", "error"}})),
@@ -219,7 +255,9 @@ Daemon::Daemon(ServeOptions options)
       m_(obs_),
       cache_(options_.cache_entries, &obs_),
       disk_cache_(options_.disk_cache_dir, &obs_),
-      journal_(options_.journal_dir, &obs_) {}
+      journal_(options_.journal_dir, &obs_),
+      queue_(options_.drr_quantum),
+      brownout_(options_.queue_limit, options_.max_rss_mb * (1ull << 20)) {}
 
 Daemon::~Daemon() { stop(); }
 
@@ -234,7 +272,7 @@ void Daemon::start() {
   obs::install_fault_observer();
   for (const char* point :
        {"serve.send.short_write", "serve.send.drop", "serve.send.stall",
-        "serve.admit.reject", "serve.executor.crash",
+        "serve.admit.reject", "serve.executor.crash", "serve.executor.stall",
         "serve.disk_cache.torn_write", "serve.disk_cache.write_fail"}) {
     obs::Registry::global().counter(
         "rdcn_fault_fires_total",
@@ -244,6 +282,18 @@ void Daemon::start() {
   // A serving process is long-lived and observable by design: phase
   // traces are on so --metrics-dump snapshots carry per-phase time.
   obs::set_tracing(true);
+  // Quotas resolve once, before any admission: the --quota-* defaults,
+  // optionally overridden per client by the quota file.  A malformed file
+  // fails startup (SpecError) — silently unlimited tenants are worse.
+  {
+    QuotaSpec defaults;
+    defaults.rps = options_.quota_rps;
+    defaults.burst = options_.quota_burst;
+    defaults.concurrent = options_.quota_concurrent;
+    quotas_ = options_.quota_file.empty()
+                  ? QuotaTable(defaults)
+                  : QuotaTable::parse_file(options_.quota_file, defaults);
+  }
   // Journal recovery runs before the socket goes live: the restored id
   // counter, quarantine streaks, and re-enqueued runs are all in place
   // before the first client can connect (ATTACH by a pre-crash id works
@@ -251,15 +301,18 @@ void Daemon::start() {
   const Journal::Recovery recovered = journal_.recover(next_id_);
   next_id_ = recovered.next_id;
   for (const auto& [spec, streak] : recovered.quarantine)
-    crash_streaks_[spec] = streak;
+    crash_streaks_[spec] = CrashStreak{streak, monotonic_now_ns()};
   for (const Journal::RecoveredRun& run : recovered.incomplete) {
     auto task = std::make_shared<RunTask>();
     task->id = run.id;
     task->recovered = true;
     task->canonical = run.spec;
+    task->client = run.client;
+    task->priority = run.priority;
     try {
       task->spec = scenario::ScenarioSpec::parse(run.spec);
       task->spec.threads = options_.threads;
+      task->cost = estimate_cost(task->spec.resolved());
     } catch (const std::exception& e) {
       // Journalled by an incompatible build: end the run rather than die.
       std::cerr << "rdcn_serve: journal: dropping unparseable recovered run "
@@ -268,7 +321,10 @@ void Daemon::start() {
       continue;
     }
     task->admitted_ns = monotonic_now_ns();
-    queue_.push_back(task);
+    // Recovered runs re-enter their original fairness lane and re-charge
+    // their client's concurrent-run quota, exactly as if freshly admitted.
+    client_state_locked(task->client).inflight += 1;
+    queue_.push(task->client, task->cost, task);
     m_.queue_depth.add(1);
     active_.emplace(run.id, std::move(task));
     m_.recovered.inc();
@@ -372,6 +428,47 @@ void Daemon::wait_for_shutdown_command() {
   cv_shutdown_.wait(lock, [&] { return shutdown_requested_ || stopping_; });
 }
 
+Daemon::ClientState& Daemon::client_state_locked(const std::string& client) {
+  const auto it = clients_.find(client);
+  if (it != clients_.end()) return it->second;
+  const QuotaSpec& quota = quotas_.lookup(client);
+  return clients_
+      .emplace(client,
+               ClientState{
+                   TokenBucket(quota.rps, quota.effective_burst()),
+                   0,
+                   obs_.counter("rdcn_serve_client_admitted_total",
+                                "Admitted runs by client",
+                                {{"client", client}}),
+                   obs_.counter("rdcn_serve_client_rejected_total",
+                                "REJECTed submissions by client "
+                                "(queue_full + quota)",
+                                {{"client", client}}),
+                   obs_.counter("rdcn_serve_client_shed_total",
+                                "Brownout-shed submissions by client",
+                                {{"client", client}}),
+               })
+      .first->second;
+}
+
+int Daemon::update_brownout_locked() {
+  const std::uint64_t now_ns = monotonic_now_ns();
+  if (options_.max_rss_mb > 0 &&
+      (rss_sampled_ns_ == 0 || now_ns - rss_sampled_ns_ > 100'000'000ull)) {
+    rss_bytes_ = read_rss_bytes();
+    rss_sampled_ns_ = now_ns;
+  }
+  const int level = brownout_.update(queue_.size(), rss_bytes_);
+  m_.brownout_level.set(static_cast<double>(level));
+  return level;
+}
+
+std::uint32_t Daemon::reject_retry_ms_locked() const {
+  return drain_est_.retry_ms(queue_.size(),
+                             std::max<std::size_t>(1, options_.executors),
+                             options_.retry_hint_ms);
+}
+
 StatsReport Daemon::stats_report() const {
   // Every field reads the metrics registry — the counters the executors
   // bump are the counters STATS reports; nothing here can drift.  mu_ is
@@ -390,6 +487,10 @@ StatsReport Daemon::stats_report() const {
     r.quarantined = m_.quarantined.value();
     r.recovered = m_.recovered.value();
     r.attached = m_.attach_total.value();
+    r.shed = m_.shed.value();
+    r.stalled = m_.runs_stalled.value();
+    r.brownout = static_cast<std::size_t>(brownout_.level());
+    r.clients = clients_.size();
   }
   const ResultsCache::Stats cache = cache_.stats();
   r.cache_hits = cache.hits;
@@ -570,6 +671,36 @@ bool Daemon::handle_command(const std::shared_ptr<Connection>& conn,
     case Command::Kind::kPing:
       conn->send_line(msg_pong());
       return true;
+    case Command::Kind::kHello:
+      // Rebinding mid-connection is allowed (a proxy serving several
+      // tenants reuses one socket); only later RUNs are affected.
+      conn->client = cmd.client;
+      conn->send_line(msg_welcome(cmd.client));
+      return true;
+    case Command::Kind::kReset: {
+      // Operator verb: clear quarantine/crash-streak state without a
+      // restart.  Journalled (streak 0) so a crash right after the RESET
+      // doesn't resurrect the streaks.
+      std::size_t cleared = 0;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (cmd.all) {
+          cleared = crash_streaks_.size();
+          for (const auto& [spec, streak] : crash_streaks_)
+            journal_.quarantine_streak(spec, 0);
+          crash_streaks_.clear();
+        } else {
+          const auto it = crash_streaks_.find(cmd.spec);
+          if (it != crash_streaks_.end()) {
+            journal_.quarantine_streak(it->first, 0);
+            crash_streaks_.erase(it);
+            cleared = 1;
+          }
+        }
+      }
+      conn->send_line(msg_resetok(cleared));
+      return true;
+    }
     case Command::Kind::kRun:
       handle_run(conn, cmd);
       return true;
@@ -636,6 +767,7 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
                         const Command& cmd) {
   scenario::ScenarioSpec spec;
   std::string canonical;
+  std::uint64_t cost = 1;
   try {
     spec = scenario::ScenarioSpec::parse(cmd.spec);
     const scenario::ScenarioSpec resolved = spec.resolved();
@@ -646,10 +778,16 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
     check_run_shape(resolved);
     spec.threads = options_.threads;  // execution detail, daemon's choice
     canonical = spec.canonical_string();
+    cost = estimate_cost(resolved);
   } catch (const std::exception& e) {
     conn->send_line(msg_error(e.what()));
     return;
   }
+  // RUN client= (a proxy submitting for a tenant) overrides the
+  // connection's HELLO binding; neither means the anonymous pool.
+  const std::string client = !cmd.client.empty()   ? cmd.client
+                             : !conn->client.empty() ? conn->client
+                                                     : "anon";
 
   // Quarantine: a spec that keeps crashing executors is fast-failed at
   // admission instead of being given another executor to wedge.
@@ -662,25 +800,37 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
       return;
     }
     const auto it = crash_streaks_.find(canonical);
-    if (options_.quarantine_threshold > 0 && it != crash_streaks_.end() &&
-        it->second >= options_.quarantine_threshold) {
-      m_.quarantined.inc();
-      conn->send_line(msg_error(
-          "reason=quarantined consecutive_failures=" +
-          std::to_string(it->second) +
-          " spec is quarantined after repeated executor crashes"));
-      return;
+    if (options_.quarantine_threshold > 0 && it != crash_streaks_.end()) {
+      // TTL aging: a streak untouched for quarantine_ttl_s no longer
+      // predicts anything — drop it (journalled) and give the spec a
+      // fresh chance.
+      if (options_.quarantine_ttl_s > 0 &&
+          monotonic_now_ns() - it->second.touched_ns >
+              options_.quarantine_ttl_s * 1'000'000'000ull) {
+        journal_.quarantine_streak(it->first, 0);
+        crash_streaks_.erase(it);
+      } else if (it->second.count >= options_.quarantine_threshold) {
+        m_.quarantined.inc();
+        conn->send_line(msg_error(
+            "reason=quarantined consecutive_failures=" +
+            std::to_string(it->second.count) +
+            " spec is quarantined after repeated executor crashes"));
+        return;
+      }
     }
   }
 
   // Injected admission failure: exercises the client's REJECT/backoff
   // path without actually filling the queue.
   if (fault::fire("serve.admit.reject")) {
+    std::uint32_t retry = options_.retry_hint_ms;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       m_.rejected.inc();
+      client_state_locked(client).rejected.inc();
+      retry = reject_retry_ms_locked();
     }
-    conn->send_line(msg_reject(options_.retry_hint_ms));
+    conn->send_line(msg_reject(retry));
     return;
   }
 
@@ -714,23 +864,65 @@ void Daemon::handle_run(const std::shared_ptr<Connection>& conn,
   task->id = id;
   task->spec = std::move(spec);
   task->canonical = std::move(canonical);
+  task->client = client;
+  task->priority = cmd.priority;
+  task->cost = cost;
   task->subscribers.push_back({conn, /*from=*/1});  // unpublished: no lock
   {
     // ACCEPTED goes out under mu_ so no executor can emit this run's
     // CHECKPOINT lines first (they'd need the queue entry, which doesn't
     // exist yet).  The write is a few bytes to a local socket.
     const std::lock_guard<std::mutex> lock(mu_);
+    ClientState& cs = client_state_locked(client);
     if (queue_.size() >= options_.queue_limit) {
       m_.rejected.inc();
-      conn->send_line(msg_reject(options_.retry_hint_ms));
+      cs.rejected.inc();
+      conn->send_line(msg_reject(reject_retry_ms_locked()));
+      return;
+    }
+    // Per-client caps next: the concurrent-run quota (queued + running
+    // charged at admission, released at the terminal) and the admission
+    // token bucket.  Both refuse with reason=quota and an honest hint —
+    // the drain rate for a full pipeline, the refill time for an empty
+    // bucket.
+    const QuotaSpec& quota = quotas_.lookup(client);
+    if (quota.concurrent > 0 && cs.inflight >= quota.concurrent) {
+      m_.rejected.inc();
+      cs.rejected.inc();
+      conn->send_line(msg_reject(reject_retry_ms_locked(), "quota"));
+      return;
+    }
+    std::uint32_t bucket_retry = 0;
+    if (!cs.bucket.try_take(monotonic_now_ns(), &bucket_retry)) {
+      m_.rejected.inc();
+      cs.rejected.inc();
+      conn->send_line(msg_reject(bucket_retry, "quota"));
+      return;
+    }
+    // Brownout shedding: under pressure, low-priority (and optionally
+    // high-cost) submissions are dropped before the queue bound has to
+    // refuse everyone.  The hint scales with the level — the hotter the
+    // daemon, the longer clients should stay away.
+    const int level = update_brownout_locked();
+    if (level > 0 &&
+        (task->priority < level ||
+         (options_.shed_cost_limit > 0 && cost > options_.shed_cost_limit &&
+          task->priority < 2))) {
+      m_.shed.inc();
+      cs.shed.inc();
+      conn->send_line(msg_reject(
+          reject_retry_ms_locked() * static_cast<std::uint32_t>(level + 1),
+          "shed"));
       return;
     }
     // Journalled before ACCEPTED: an id the client saw is an id a
     // restarted daemon remembers.
-    journal_.admitted(id, task->canonical);
+    journal_.admitted(id, task->canonical, task->client, task->priority);
     conn->send_line(msg_accepted(id));
+    cs.inflight += 1;
+    cs.admitted.inc();
     task->admitted_ns = monotonic_now_ns();
-    queue_.push_back(task);
+    queue_.push(task->client, task->cost, task);
     m_.queue_depth.add(1);
     if (cmd.deadline_ms > 0) {
       // Deadline counts from admission: queue wait is the daemon's
@@ -826,18 +1018,36 @@ void Daemon::executor_loop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_exec_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (stopping_) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      queue_.pop(&task);  // DRR order: the fairest backlogged lane's head
       m_.queue_depth.add(-1);
       m_.active_runs.add(1);
     }
+    task->last_progress_ns.store(monotonic_now_ns(),
+                                 std::memory_order_relaxed);
     task->started.store(true, std::memory_order_release);
     journal_.started(task->id);
-    m_.admission_wait.observe_ns(monotonic_now_ns() - task->admitted_ns);
+    const std::uint64_t wait_ns = monotonic_now_ns() - task->admitted_ns;
+    m_.admission_wait.observe_ns(wait_ns);
+    (task->priority == 0   ? m_.queue_wait_p0
+     : task->priority == 1 ? m_.queue_wait_p1
+                           : m_.queue_wait_p2)
+        .observe_ns(wait_ns);
+    const std::uint64_t exec_begin_ns = monotonic_now_ns();
     execute(task);
+    const std::uint64_t exec_ns = monotonic_now_ns() - exec_begin_ns;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       m_.active_runs.add(-1);
+      // Release the client's concurrent-run charge; this thread wrote
+      // terminal_status in execute(), so reading it lock-free is safe.
+      const auto cs = clients_.find(task->client);
+      if (cs != clients_.end() && cs->second.inflight > 0)
+        cs->second.inflight -= 1;
+      // Only full executions inform the drain estimate — a run cancelled
+      // (or shed) in milliseconds says nothing about how long a queue
+      // slot takes to free under load.
+      if (task->terminal_status == "ok" || task->terminal_status == "error")
+        drain_est_.observe_run_ns(exec_ns);
       active_.erase(task->id);
       recent_.push_back(task);
       if (recent_.size() > kRecentRuns) recent_.pop_front();
@@ -870,22 +1080,41 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
     }
     task->subscribers.clear();
   };
-  // Ends the run with DONE status cancelled/deadline_exceeded, whichever
-  // the token firing meant.
+  // Ends the run with DONE status stalled/deadline_exceeded/cancelled,
+  // whichever the token firing meant.  A stall (the progress watchdog
+  // fired) also extends the spec's crash streak: a spec that reliably
+  // wedges executors is as dangerous as one that crashes them.
   const auto finish_cancelled = [&] {
+    const bool stalled = task->stalled_fired.load(std::memory_order_acquire);
     const bool deadline =
-        task->deadline_fired.load(std::memory_order_acquire);
+        !stalled && task->deadline_fired.load(std::memory_order_acquire);
+    std::size_t streak = 0;
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      if (deadline)
+      if (stalled) {
+        m_.runs_stalled.inc();
+        CrashStreak& s = crash_streaks_[task->canonical];
+        streak = ++s.count;
+        s.touched_ns = monotonic_now_ns();
+        if (options_.quarantine_threshold > 0 &&
+            streak == options_.quarantine_threshold)
+          std::cerr << "rdcn_serve: quarantining spec after " << streak
+                    << " consecutive failures: " << task->canonical << "\n";
+      } else if (deadline) {
         m_.runs_deadline.inc();
-      else
+      } else {
         m_.runs_cancelled.inc();
+      }
     }
-    (deadline ? m_.run_deadline : m_.run_cancelled)
+    if (stalled) journal_.quarantine_streak(task->canonical, streak);
+    (stalled    ? m_.run_stalled
+     : deadline ? m_.run_deadline
+                : m_.run_cancelled)
         .observe_ns(monotonic_now_ns() - start_ns);
-    finish(deadline ? "deadline_exceeded" : "cancelled", nullptr, nullptr,
-           false);
+    finish(stalled    ? "stalled"
+           : deadline ? "deadline_exceeded"
+                      : "cancelled",
+           nullptr, nullptr, false);
   };
   // Non-SpecError escaped the run (a bug, or an injected crash): report,
   // count, and extend the spec's crash streak — the executor survives.
@@ -895,7 +1124,9 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
       const std::lock_guard<std::mutex> lock(mu_);
       m_.crashes.inc();
       m_.runs_error.inc();
-      streak = ++crash_streaks_[task->canonical];
+      CrashStreak& s = crash_streaks_[task->canonical];
+      streak = ++s.count;
+      s.touched_ns = monotonic_now_ns();
       if (options_.quarantine_threshold > 0 &&
           streak == options_.quarantine_threshold)
         std::cerr << "rdcn_serve: quarantining spec after " << streak
@@ -943,6 +1174,8 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
                                               std::uint64_t seed,
                                               const sim::Checkpoint&
                                                   checkpoint) {
+    task->last_progress_ns.store(monotonic_now_ns(),
+                                 std::memory_order_relaxed);
     std::uint64_t seq = 0;
     {
       const std::lock_guard<std::mutex> sub_lock(task->sub_mu);
@@ -967,6 +1200,14 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
   try {
     if (fault::fire("serve.executor.crash"))
       throw std::runtime_error("injected executor crash");
+    if (fault::fire("serve.executor.stall")) {
+      // Simulated wedge: no checkpoints ever come, so only the progress
+      // watchdog (or a CANCEL/deadline) can end this run.  The wait is
+      // cooperative — the executor thread itself never deadlocks.
+      while (!task->cancel.cancelled())
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      throw CancelledError("stalled run cancelled");
+    }
     const scenario::ScenarioResult result =
         scenario::run_scenario(task->spec, hooks);
     std::ostringstream csv;
@@ -995,18 +1236,31 @@ void Daemon::execute(const std::shared_ptr<RunTask>& task) {
 }
 
 void Daemon::watchdog_loop() {
+  // Besides per-run deadlines, the watchdog owns two periodic duties:
+  // the progress monitor (cancel running tasks whose checkpoint stream
+  // went quiet) and the brownout re-evaluation (so the level *recovers*
+  // even when no admission arrives to trigger an update).  Either one
+  // turns the indefinite deadline wait into a bounded tick.
+  const bool progress = options_.progress_timeout_ms > 0;
+  const bool ticking = progress || options_.max_rss_mb > 0;
+  const auto tick = std::chrono::milliseconds(
+      progress ? std::clamp<std::uint64_t>(options_.progress_timeout_ms / 4,
+                                           10, 1000)
+               : 250);
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
-    if (deadlines_.empty()) {
+    if (deadlines_.empty() && !ticking) {
       cv_deadline_.wait(lock);
       continue;
     }
-    const auto next = deadlines_.begin()->first;
-    if (monotonic_now() < next) {
+    auto wake = monotonic_now() + tick;
+    if (!deadlines_.empty() && deadlines_.begin()->first < wake)
+      wake = deadlines_.begin()->first;
+    if (monotonic_now() < wake) {
       // Re-evaluate after the wait: an earlier deadline may have been
       // armed, or stop() may have been requested.
-      cv_deadline_.wait_until(lock, next);
-      continue;
+      cv_deadline_.wait_until(lock, wake);
+      if (stopping_) break;
     }
     const auto now = monotonic_now();
     while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
@@ -1019,6 +1273,22 @@ void Daemon::watchdog_loop() {
         task->cancel.request_cancel();
       }
       deadlines_.erase(deadlines_.begin());
+    }
+    if (!ticking) continue;
+    update_brownout_locked();
+    if (!progress) continue;
+    const std::uint64_t budget_ns =
+        options_.progress_timeout_ms * 1'000'000ull;
+    const std::uint64_t now_ns = monotonic_now_ns();
+    for (auto& [id, task] : active_) {
+      if (!task->started.load(std::memory_order_acquire)) continue;
+      const std::uint64_t last =
+          task->last_progress_ns.load(std::memory_order_relaxed);
+      if (last == 0 || now_ns - last <= budget_ns) continue;
+      // Mark-then-fire, like the deadline path.  exchange() makes the
+      // stall fire once even if the run lingers across several ticks.
+      if (!task->stalled_fired.exchange(true, std::memory_order_acq_rel))
+        task->cancel.request_cancel();
     }
   }
 }

@@ -12,9 +12,21 @@
 //     id).  The per-connection read buffer is bounded: a newline-free
 //     stream past 1 MiB gets ERROR reason=line_too_long and the
 //     connection closed;
-//   * admitted runs wait in a bounded FIFO; submissions beyond the bound
-//     are rejected with a retry hint (backpressure) instead of queueing
-//     unboundedly;
+//   * admitted runs wait in a bounded deficit-round-robin queue, one lane
+//     per client (HELLO client=<name> binds a connection; anonymous
+//     traffic pools under "anon"), charged in estimated cost units — many
+//     small scenarios interleave with one giant matrix instead of
+//     queueing behind it.  Submissions beyond the bound are rejected with
+//     a retry hint computed from the measured drain rate (backpressure)
+//     instead of queueing unboundedly;
+//   * per-client quotas (token-bucket admission rate + max concurrent
+//     runs, defaults from --quota-*, per-client overrides from a quota
+//     file) refuse with REJECT reason=quota and an honest retry hint
+//     from the bucket refill;
+//   * a hysteretic brownout state machine over queue depth and an RSS
+//     watermark sheds the lowest-priority submissions first (RUN
+//     priority=<0-2>) with REJECT reason=shed before the queue bound
+//     itself has to refuse;
 //   * a small executor-thread set drains the queue, each run executing
 //     scenario::run_scenario on the process-wide persistent ThreadPool
 //     (trial parallelism) with a CancelToken threaded down to the
@@ -24,6 +36,12 @@
 //     earliest-deadline wakeups): a run still going n ms after admission
 //     is cancelled through the same cooperative token and reported as
 //     DONE status=deadline_exceeded;
+//   * the same watchdog thread doubles as a progress monitor: with
+//     --progress-timeout-ms set, a running task whose checkpoint stream
+//     stops advancing for that long is cancelled and reported as DONE
+//     status=stalled — and the stall extends the spec's quarantine
+//     streak, so a spec that reliably wedges executors gets fenced off
+//     like one that crashes them;
 //   * completed CSV payloads land in an LRU ResultsCache keyed on
 //     ScenarioSpec::canonical_string(), and — when disk_cache_dir is set —
 //     in a crash-safe on-disk store (serve/disk_cache.hpp) that survives
@@ -58,7 +76,10 @@
 //     the executor thread survives.  A spec that crashes
 //     quarantine_threshold times consecutively is quarantined: further
 //     submissions fast-fail with ERROR reason=quarantined instead of
-//     re-wedging executors (a later success would clear the streak);
+//     re-wedging executors (a later success would clear the streak).
+//     Streaks age out after quarantine_ttl_s of quiet (0 = never), and an
+//     operator can clear them without a restart via RESET spec=<canonical>
+//     or RESET all=1;
 //   * every outcome is counted and visible through STATS (completed /
 //     cancelled / deadline_exceeded / crashed / rejected / quarantined /
 //     disk-cache hits / corrupt entries skipped);
@@ -85,6 +106,7 @@
 
 #include "common/clock.hpp"
 #include "obs/metrics.hpp"
+#include "serve/admission.hpp"
 #include "serve/disk_cache.hpp"
 #include "serve/journal.hpp"
 #include "serve/protocol.hpp"
@@ -126,6 +148,30 @@ struct ServeOptions {
   /// Consecutive executor crashes of one canonical spec before it is
   /// quarantined (submissions fast-fail).  0 disables quarantining.
   std::size_t quarantine_threshold = 3;
+  /// Seconds of quiet after which a crash streak ages out (an old flaky
+  /// spec gets a fresh chance without an operator RESET).  0 = never.
+  std::uint64_t quarantine_ttl_s = 0;
+  /// Default per-client admission rate in runs/s (0 = unlimited) and
+  /// token-bucket burst (0 derives max(1, 2·rps)).
+  double quota_rps = 0;
+  double quota_burst = 0;
+  /// Default per-client concurrent (queued+running) run cap (0 = none).
+  std::size_t quota_concurrent = 0;
+  /// Per-client quota overrides (admission.hpp QuotaTable file format);
+  /// "" = the --quota-* defaults apply to everyone.
+  std::string quota_file;
+  /// RSS watermark in MiB for brownout load shedding (0 disables the RSS
+  /// leg; queue depth still drives levels).
+  std::uint64_t max_rss_mb = 0;
+  /// Under brownout (level >= 1), also shed submissions whose estimated
+  /// cost exceeds this many units unless they are priority 2 (0 = no
+  /// cost-based shedding).
+  std::uint64_t shed_cost_limit = 0;
+  /// Cancel a *running* task whose checkpoint stream hasn't advanced in
+  /// this long: DONE status=stalled.  0 disables the progress watchdog.
+  std::uint64_t progress_timeout_ms = 0;
+  /// DRR credit (cost units) each backlogged client earns per round.
+  std::uint64_t drr_quantum = 4096;
   /// Fault-injection spec armed at start() (fault::arm_from_spec syntax);
   /// "" arms nothing.  RDCN_FAULTS in the environment is applied too.
   std::string faults;
@@ -212,18 +258,25 @@ class Daemon {
     obs::Counter& runs_ok;        ///< DONE status=ok (cache hits included)
     obs::Counter& runs_cancelled;
     obs::Counter& runs_deadline;
+    obs::Counter& runs_stalled;   ///< DONE status=stalled (progress watchdog)
     obs::Counter& runs_error;     ///< DONE status=error (crash or SpecError)
     obs::Counter& crashes;        ///< non-SpecError escapes (subset of error)
-    obs::Counter& rejected;
+    obs::Counter& rejected;       ///< REJECT reason=queue_full|quota
+    obs::Counter& shed;           ///< REJECT reason=shed (disjoint from ^)
     obs::Counter& quarantined;
     obs::Counter& recovered;      ///< runs re-enqueued from the journal
     obs::Counter& attach_total;   ///< successful ATTACH subscriptions
     obs::Gauge& queue_depth;
     obs::Gauge& active_runs;
+    obs::Gauge& brownout_level;      ///< current shedding level (0-2)
     obs::Histogram& admission_wait;  ///< admission -> executor pickup
+    obs::Histogram& queue_wait_p0;   ///< the same wait, split by priority
+    obs::Histogram& queue_wait_p1;
+    obs::Histogram& queue_wait_p2;
     obs::Histogram& run_ok;          ///< executor run latency by status
     obs::Histogram& run_cancelled;
     obs::Histogram& run_deadline;
+    obs::Histogram& run_stalled;
     obs::Histogram& run_error;
     obs::Histogram& drain_seconds;   ///< graceful-drain duration
   } m_;
@@ -232,11 +285,35 @@ class Daemon {
   Journal journal_;
   int listen_fd_ = -1;
 
+  /// One client's admission state (lazily created at first submission;
+  /// never dropped — the set of distinct clients is operator-bounded).
+  /// Guarded by mu_, like everything around it.
+  struct ClientState {
+    TokenBucket bucket;
+    std::size_t inflight = 0;  ///< queued + running runs charged here
+    obs::Counter& admitted;
+    obs::Counter& rejected;
+    obs::Counter& shed;
+  };
+  ClientState& client_state_locked(const std::string& client);
+  /// Re-evaluates the brownout level from queue depth + RSS (the RSS
+  /// sample is cached ~100 ms — /proc reads are not free) and mirrors it
+  /// into the gauge.  Returns the level.  Caller holds mu_.
+  int update_brownout_locked();
+  /// Drain-rate retry hint for a REJECT issued now.  Caller holds mu_.
+  std::uint32_t reject_retry_ms_locked() const;
+
   mutable std::mutex mu_;
   std::condition_variable cv_exec_;      ///< executors wait for work
   std::condition_variable cv_shutdown_;  ///< owner waits for SHUTDOWN
   std::condition_variable cv_deadline_;  ///< watchdog waits for deadlines
-  std::deque<std::shared_ptr<RunTask>> queue_;
+  DrrQueue<std::shared_ptr<RunTask>> queue_;
+  std::map<std::string, ClientState> clients_;
+  QuotaTable quotas_;          ///< immutable after start()
+  Brownout brownout_;
+  DrainEstimator drain_est_;
+  std::uint64_t rss_bytes_ = 0;       ///< cached read_rss_bytes()
+  std::uint64_t rss_sampled_ns_ = 0;  ///< when rss_bytes_ was sampled
   /// Queued + running tasks by id (CANCEL looks up here); erased when the
   /// run reaches its DONE line.
   std::unordered_map<std::uint64_t, std::shared_ptr<RunTask>> active_;
@@ -249,8 +326,13 @@ class Daemon {
   /// harmlessly (weak_ptr).
   std::multimap<MonotonicClock::time_point, std::weak_ptr<RunTask>>
       deadlines_;
-  /// canonical spec → consecutive executor crashes (cleared on success).
-  std::unordered_map<std::string, std::size_t> crash_streaks_;
+  /// canonical spec → consecutive executor crashes/stalls (cleared on
+  /// success, by RESET, or after quarantine_ttl_s of quiet).
+  struct CrashStreak {
+    std::size_t count = 0;
+    std::uint64_t touched_ns = 0;  ///< last extension (TTL aging)
+  };
+  std::unordered_map<std::string, CrashStreak> crash_streaks_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> conn_threads_;
   /// Reader threads that have exited (disconnected clients); their ids

@@ -8,6 +8,7 @@
 #include "common/clock.hpp"
 #include "common/fault.hpp"
 #include "common/param_map.hpp"
+#include "obs/span.hpp"
 
 namespace rdcn::serve {
 
@@ -172,6 +173,7 @@ std::string DiskCache::entry_path(const std::string& key) const {
 
 std::optional<std::string> DiskCache::get(const std::string& key) {
   if (!enabled()) return std::nullopt;
+  const obs::ObsSpan span("serve.disk_cache.load");
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -202,6 +204,7 @@ std::optional<std::string> DiskCache::get(const std::string& key) {
 
 void DiskCache::put(const std::string& key, const std::string& payload) {
   if (!enabled()) return;
+  const obs::ObsSpan span("serve.disk_cache.store");
   const std::lock_guard<std::mutex> lock(mu_);
   if (fault::fire("serve.disk_cache.write_fail")) {
     write_failures_.inc();

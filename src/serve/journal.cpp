@@ -9,10 +9,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <unordered_map>
 
 #include "common/crc32.hpp"
 #include "common/param_map.hpp"
+#include "obs/span.hpp"
+#include "serve/admission.hpp"
 
 namespace rdcn::serve {
 
@@ -106,6 +109,10 @@ Journal::Recovery Journal::recover(std::uint64_t fallback_next_id) {
   const std::string path = directory_ + "/" + kLogName;
 
   // ---- replay ----------------------------------------------------------
+  // Spans are siblings, not nested: replay time should not absorb the
+  // compaction rewrite below.
+  std::optional<obs::ObsSpan> replay_span;
+  replay_span.emplace("serve.journal.replay");
   std::string bytes;
   {
     std::ifstream in(path, std::ios::binary);
@@ -159,9 +166,23 @@ Journal::Recovery Journal::recover(std::uint64_t fallback_next_id) {
     } else if (t.size() >= 3 && t[0] == "admit" && parse_u64(t[1], id)) {
       if (by_id.count(id) == 0 && finished.count(id) == 0) {
         by_id.emplace(id, runs.size());
-        runs.push_back(RecoveredRun{id, t[2], false, 0});
+        runs.push_back(RecoveredRun{id, t[2], false, 0, "anon", 1});
       }
       if (id + 1 > out.next_id) out.next_id = id + 1;
+    } else if (t[0] == "admit2") {
+      // Re-tokenize: admit2 carries priority + client before the spec.
+      const std::vector<std::string> t2 = tokens(payload, 5);
+      std::uint64_t priority = 0;
+      if (t2.size() >= 5 && parse_u64(t2[1], id) &&
+          parse_u64(t2[2], priority) && priority <= 2 &&
+          is_valid_client_name(t2[3])) {
+        if (by_id.count(id) == 0 && finished.count(id) == 0) {
+          by_id.emplace(id, runs.size());
+          runs.push_back(RecoveredRun{id, t2[4], false, 0, t2[3],
+                                      static_cast<int>(priority)});
+        }
+        if (id + 1 > out.next_id) out.next_id = id + 1;
+      }
     } else if (t.size() >= 2 && t[0] == "start" && parse_u64(t[1], id)) {
       const auto it = by_id.find(id);
       if (it != by_id.end()) runs[it->second].started = true;
@@ -199,17 +220,21 @@ Journal::Recovery Journal::recover(std::uint64_t fallback_next_id) {
   for (const RecoveredRun& run : runs)
     if (run.id != 0) out.incomplete.push_back(run);
   out.quarantine.assign(streaks.begin(), streaks.end());
+  replay_span.reset();
 
   // ---- compact ---------------------------------------------------------
   // Rewrite live state only (temp-file + rename, like the disk cache):
   // the log's size is bounded by live state, and the torn tail is gone.
+  const obs::ObsSpan compact_span("serve.journal.compact");
   const std::string temp = path + ".tmp";
   std::string fresh(kMagic, sizeof(kMagic));
   fresh += frame("nextid " + std::to_string(out.next_id));
   for (const auto& [spec, streak] : out.quarantine)
     fresh += frame("streak " + std::to_string(streak) + " " + spec);
   for (const RecoveredRun& run : out.incomplete)
-    fresh += frame("admit " + std::to_string(run.id) + " " + run.spec);
+    fresh += frame("admit2 " + std::to_string(run.id) + " " +
+                   std::to_string(run.priority) + " " + run.client + " " +
+                   run.spec);
   const int temp_fd = ::open(temp.c_str(),
                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   bool committed = false;
@@ -280,8 +305,11 @@ void Journal::append(const std::string& payload, bool sync) {
   if (sync) ::fsync(fd_);
 }
 
-void Journal::admitted(std::uint64_t id, const std::string& spec) {
-  append("admit " + std::to_string(id) + " " + spec, /*sync=*/false);
+void Journal::admitted(std::uint64_t id, const std::string& spec,
+                       const std::string& client, int priority) {
+  append("admit2 " + std::to_string(id) + " " + std::to_string(priority) +
+             " " + client + " " + spec,
+         /*sync=*/false);
 }
 
 void Journal::started(std::uint64_t id) {

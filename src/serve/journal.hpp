@@ -21,12 +21,18 @@
 //
 //   nextid <n>                    id-counter snapshot (ids of journalled
 //                                 runs stay unique across restarts)
-//   admit <id> <spec>             run admitted to the queue
+//   admit <id> <spec>             run admitted to the queue (legacy form;
+//                                 replays as client "anon", priority 1)
+//   admit2 <id> <priority> <client> <spec>
+//                                 run admitted with its fairness identity:
+//                                 recovery re-enqueues into the right DRR
+//                                 lane and re-charges the client's
+//                                 concurrent-run quota
 //   start <id>                    an executor picked the run up
 //   ckpt <id> <seq>               checkpoint high-water mark (ATTACH
 //                                 replay bookkeeping, diagnostics)
 //   done <id> <status>            terminal: ok | cancelled |
-//                                 deadline_exceeded | error
+//                                 deadline_exceeded | stalled | error
 //   streak <n> <spec>             quarantine streak update (0 clears)
 //
 // Write policy: records append under one mutex; only terminal records
@@ -68,6 +74,8 @@ class Journal {
     std::string spec;    ///< canonical spec text (deterministic recompute)
     bool started = false;  ///< an executor had picked it up
     std::uint64_t checkpoint_seq = 0;  ///< highest ckpt record seen
+    std::string client = "anon";  ///< fairness lane / quota identity
+    int priority = 1;             ///< shed order under brownout (0-2)
   };
 
   /// Everything replay reconstructs.
@@ -100,7 +108,8 @@ class Journal {
   Recovery recover(std::uint64_t fallback_next_id = 1);
 
   // Appends (no-ops while disabled).  terminal() and flush() fsync.
-  void admitted(std::uint64_t id, const std::string& spec);
+  void admitted(std::uint64_t id, const std::string& spec,
+                const std::string& client = "anon", int priority = 1);
   void started(std::uint64_t id);
   void checkpoint(std::uint64_t id, std::uint64_t seq);
   void terminal(std::uint64_t id, const std::string& status);

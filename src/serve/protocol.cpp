@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "serve/admission.hpp"
+
 namespace rdcn::serve {
 
 namespace {
@@ -63,6 +65,31 @@ Command parse_command(const std::string& line) {
   if (verb == "PING") {
     cmd.kind = rest.empty() ? Command::Kind::kPing : Command::Kind::kInvalid;
     if (!rest.empty()) cmd.error = "PING takes no arguments";
+  } else if (verb == "HELLO") {
+    constexpr const char* kClientKey = "client=";
+    if (rest.compare(0, 7, kClientKey) == 0 &&
+        is_valid_client_name(rest.substr(7))) {
+      cmd.kind = Command::Kind::kHello;
+      cmd.client = rest.substr(7);
+    } else {
+      cmd.error =
+          "HELLO needs a client name ('HELLO client=<name>', 1-64 chars "
+          "from [A-Za-z0-9._-])";
+    }
+  } else if (verb == "RESET") {
+    constexpr const char* kSpecKey = "spec=";
+    if (rest == "all=1") {
+      cmd.kind = Command::Kind::kReset;
+      cmd.all = true;
+    } else if (rest.compare(0, 5, kSpecKey) == 0 && rest.size() > 5 &&
+               rest.find(' ') == std::string::npos) {
+      cmd.kind = Command::Kind::kReset;
+      cmd.spec = rest.substr(5);
+    } else {
+      cmd.error =
+          "RESET needs 'spec=<canonical spec>' or 'all=1' ('RESET "
+          "spec=...' clears one quarantine streak)";
+    }
   } else if (verb == "RUN") {
     if (rest.empty()) {
       cmd.error = "RUN needs a scenario spec ('RUN <spec>')";
@@ -81,15 +108,31 @@ Command parse_command(const std::string& line) {
             rest.substr(pos, end == std::string::npos ? std::string::npos
                                                       : end - pos);
         constexpr const char* kDeadlineKey = "deadline_ms=";
+        constexpr const char* kClientKey = "client=";
+        constexpr const char* kPriorityKey = "priority=";
         if (token.compare(0, 12, kDeadlineKey) == 0 &&
             parse_u64(token.substr(12), cmd.deadline_ms) &&
             cmd.deadline_ms > 0) {
           pos = end;
           continue;
         }
+        if (token.compare(0, 7, kClientKey) == 0 &&
+            is_valid_client_name(token.substr(7))) {
+          cmd.client = token.substr(7);
+          pos = end;
+          continue;
+        }
+        std::uint64_t priority = 0;
+        if (token.compare(0, 9, kPriorityKey) == 0 &&
+            parse_u64(token.substr(9), priority) && priority <= 2) {
+          cmd.priority = static_cast<int>(priority);
+          pos = end;
+          continue;
+        }
         cmd.kind = Command::Kind::kInvalid;
         cmd.error = "unrecognized RUN option '" + token +
-                    "'; known: deadline_ms=<positive integer>";
+                    "'; known: deadline_ms=<positive integer>, "
+                    "client=<name>, priority=<0-2>";
         break;
       }
     }
@@ -143,9 +186,9 @@ Command parse_command(const std::string& line) {
                   "'; known: drain=<0|1>";
     }
   } else {
-    cmd.error =
-        "unknown command '" + verb +
-        "'; known: PING, RUN, CANCEL, ATTACH, STATS, METRICS, SHUTDOWN";
+    cmd.error = "unknown command '" + verb +
+                "'; known: PING, HELLO, RUN, CANCEL, ATTACH, RESET, STATS, "
+                "METRICS, SHUTDOWN";
   }
   return cmd;
 }
@@ -166,8 +209,17 @@ std::string msg_accepted(std::uint64_t id) {
   return "ACCEPTED id=" + std::to_string(id);
 }
 
-std::string msg_reject(std::uint32_t retry_ms) {
-  return "REJECT retry_ms=" + std::to_string(retry_ms) + " reason=queue_full";
+std::string msg_welcome(const std::string& client) {
+  return "WELCOME client=" + client;
+}
+
+std::string msg_reject(std::uint32_t retry_ms, const std::string& reason) {
+  return "REJECT retry_ms=" + std::to_string(retry_ms) +
+         " reason=" + reason;
+}
+
+std::string msg_resetok(std::size_t cleared) {
+  return "RESETOK cleared=" + std::to_string(cleared);
 }
 
 std::string msg_cancelling(std::uint64_t id) {
@@ -217,7 +269,11 @@ std::string msg_stats(const StatsReport& r) {
          " disk_hits=" + std::to_string(r.disk_hits) +
          " disk_corrupt=" + std::to_string(r.disk_corrupt) +
          " recovered=" + std::to_string(r.recovered) +
-         " attached=" + std::to_string(r.attached);
+         " attached=" + std::to_string(r.attached) +
+         " shed=" + std::to_string(r.shed) +
+         " stalled=" + std::to_string(r.stalled) +
+         " brownout=" + std::to_string(r.brownout) +
+         " clients=" + std::to_string(r.clients);
 }
 
 StatsReport parse_stats(const std::string& attrs) {
@@ -237,6 +293,10 @@ StatsReport parse_stats(const std::string& attrs) {
   r.disk_corrupt = attr_u64(attrs, "disk_corrupt");
   r.recovered = attr_u64(attrs, "recovered");
   r.attached = attr_u64(attrs, "attached");
+  r.shed = attr_u64(attrs, "shed");
+  r.stalled = attr_u64(attrs, "stalled");
+  r.brownout = static_cast<std::size_t>(attr_u64(attrs, "brownout"));
+  r.clients = static_cast<std::size_t>(attr_u64(attrs, "clients"));
   return r;
 }
 
@@ -258,9 +318,16 @@ ServerLine parse_server_line(const std::string& line) {
   } else if (verb == "ACCEPTED") {
     out.kind = ServerLine::Kind::kAccepted;
     out.id = attr_u64(rest, "id");
+  } else if (verb == "WELCOME") {
+    out.kind = ServerLine::Kind::kWelcome;
+    out.text = attr(rest, "client");
   } else if (verb == "REJECT") {
     out.kind = ServerLine::Kind::kReject;
     out.retry_ms = static_cast<std::uint32_t>(attr_u64(rest, "retry_ms"));
+    out.status = attr(rest, "reason");
+  } else if (verb == "RESETOK") {
+    out.kind = ServerLine::Kind::kResetOk;
+    out.lines = static_cast<std::size_t>(attr_u64(rest, "cleared"));
   } else if (verb == "CANCELLING") {
     out.kind = ServerLine::Kind::kCancelling;
     out.id = attr_u64(rest, "id");

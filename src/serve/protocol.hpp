@@ -9,13 +9,27 @@
 // with `ERROR reason=line_too_long` and the connection is closed):
 //
 //   PING                          liveness probe
-//   RUN <scenario-spec> [deadline_ms=<n>]
+//   HELLO client=<name>           bind this connection to a tenant: later
+//                                 RUNs charge <name>'s quota and fairness
+//                                 lane (1-64 chars of [A-Za-z0-9._-]);
+//                                 anonymous connections pool under "anon"
+//   RUN <scenario-spec> [deadline_ms=<n>] [client=<name>] [priority=<0-2>]
 //                                 submit (ScenarioSpec::parse form); with
 //                                 deadline_ms the daemon arms a monotonic
 //                                 watchdog: a run still going n ms after
 //                                 admission is cancelled cooperatively and
-//                                 finishes DONE status=deadline_exceeded
+//                                 finishes DONE status=deadline_exceeded.
+//                                 client= overrides the HELLO binding for
+//                                 this one run (proxies submitting on
+//                                 behalf of tenants); priority= (default
+//                                 1) orders load shedding under brownout —
+//                                 lower priorities shed first
 //   CANCEL <id>                   cooperative cancel of a submitted run
+//   RESET spec=<canonical> | RESET all=1
+//                                 operator verb: clear the quarantine /
+//                                 crash-streak state of one canonical
+//                                 spec (or all of them) without a daemon
+//                                 restart; journaled as streak-0 records
 //   ATTACH <id> [from=<k>]        resubscribe to a queued/running/recently
 //                                 finished run (ids are stable across
 //                                 daemon restarts when a journal is
@@ -41,8 +55,18 @@
 //                                 report as ERROR internal=<what> before
 //                                 their DONE status=error line.
 //   ACCEPTED id=<n>               run admitted (queued or cache hit)
-//   REJECT retry_ms=<n> reason=queue_full   backpressure: try again later
+//   WELCOME client=<name>         HELLO accepted; the binding is live
+//   REJECT retry_ms=<n> reason=<queue_full|quota|shed>
+//                                 backpressure: try again after retry_ms.
+//                                 queue_full = admission queue at bound
+//                                 (hint from the measured drain rate);
+//                                 quota = the client's token bucket or
+//                                 concurrent-run cap refused (hint from
+//                                 the bucket refill); shed = brownout
+//                                 load shedding dropped this priority
+//                                 (hint scales with the brownout level)
 //   CANCELLING id=<n>             cancel request acknowledged
+//   RESETOK cleared=<n>           RESET done; n streak entries cleared
 //   ATTACHED id=<n> state=<queued|running|done> last_seq=<m>
 //                                 ATTACH accepted; replayed CHECKPOINTs
 //                                 (if any) and the rest of the run's
@@ -53,12 +77,15 @@
 //                                 seq numbers a run's checkpoints from 1
 //                                 so ATTACH from=<k> can resume exactly
 //   RESULT id=<n> cached=<0|1> lines=<k>   followed by k raw CSV lines
-//   DONE id=<n> status=<ok|cancelled|deadline_exceeded|error>
-//                                 run finished (terminal)
+//   DONE id=<n> status=<ok|cancelled|deadline_exceeded|stalled|error>
+//                                 run finished (terminal); stalled = the
+//                                 progress watchdog cancelled a run whose
+//                                 checkpoint seq stopped advancing
 //   STATS active=<n> queued=<n> cache_hits=<n> cache_misses=<n>
 //         cache_entries=<n> completed=<n> cancelled=<n>
 //         deadline_exceeded=<n> crashed=<n> rejected=<n> quarantined=<n>
 //         disk_hits=<n> disk_corrupt=<n> recovered=<n> attached=<n>
+//         shed=<n> stalled=<n> brownout=<0|1|2> clients=<n>
 //   METRICS lines=<k>             followed by k raw Prometheus text
 //                                 exposition lines (obs registry render);
 //                                 header + payload travel as one write
@@ -83,20 +110,25 @@ namespace rdcn::serve {
 struct Command {
   enum class Kind {
     kPing,
+    kHello,
     kRun,
     kCancel,
     kAttach,
+    kReset,
     kStats,
     kMetrics,
     kShutdown,
     kInvalid,
   };
   Kind kind = Kind::kInvalid;
-  std::string spec;       ///< kRun: the scenario spec text
+  std::string spec;       ///< kRun: spec text; kReset: canonical spec
   std::uint64_t id = 0;   ///< kCancel/kAttach: the run id
   std::uint64_t deadline_ms = 0;  ///< kRun: watchdog deadline (0 = none)
   std::uint64_t from = 1;  ///< kAttach: first checkpoint seq to replay
   bool drain = false;      ///< kShutdown: finish in-flight runs first
+  std::string client;  ///< kHello: binding; kRun: per-run override ("")
+  int priority = 1;    ///< kRun: shed order under brownout (0-2)
+  bool all = false;    ///< kReset: clear every streak
   std::string error;      ///< kInvalid: what was wrong
 };
 
@@ -124,6 +156,10 @@ struct StatsReport {
   std::uint64_t disk_corrupt = 0;  ///< corrupt disk entries skipped
   std::uint64_t recovered = 0;  ///< runs re-enqueued from the journal
   std::uint64_t attached = 0;   ///< successful ATTACH subscriptions
+  std::uint64_t shed = 0;       ///< REJECT reason=shed (brownout drops)
+  std::uint64_t stalled = 0;    ///< DONE status=stalled (progress watchdog)
+  std::size_t brownout = 0;     ///< current brownout level (0 = healthy)
+  std::size_t clients = 0;      ///< distinct client lanes seen so far
 };
 StatsReport parse_stats(const std::string& attrs);
 
@@ -134,8 +170,12 @@ std::string sanitize(std::string text);
 std::string msg_pong();
 std::string msg_error(const std::string& what);
 std::string msg_accepted(std::uint64_t id);
-std::string msg_reject(std::uint32_t retry_ms);
+std::string msg_welcome(const std::string& client);
+/// `reason` is one of queue_full | quota | shed (wire contract above).
+std::string msg_reject(std::uint32_t retry_ms,
+                       const std::string& reason = "queue_full");
 std::string msg_cancelling(std::uint64_t id);
+std::string msg_resetok(std::size_t cleared);
 /// ATTACHED reply: `state` is queued | running | done.
 std::string msg_attached(std::uint64_t id, const std::string& state,
                          std::uint64_t last_seq);
@@ -155,8 +195,10 @@ struct ServerLine {
     kPong,
     kError,
     kAccepted,
+    kWelcome,
     kReject,
     kCancelling,
+    kResetOk,
     kAttached,
     kCheckpoint,
     kResult,
@@ -168,11 +210,14 @@ struct ServerLine {
   };
   Kind kind = Kind::kOther;
   std::uint64_t id = 0;        ///< runs: ACCEPTED/CHECKPOINT/RESULT/DONE/...
-  std::string text;            ///< kError: message; kOther: whole line
+  std::string text;            ///< kError: message; kWelcome: client name;
+                               ///< kOther: whole line
   std::uint32_t retry_ms = 0;  ///< kReject
   bool cached = false;         ///< kResult
-  std::size_t lines = 0;       ///< kResult/kMetrics: payload line count
-  std::string status;          ///< kDone: ok|...|error; kAttached: state
+  std::size_t lines = 0;  ///< kResult/kMetrics: payload line count;
+                          ///< kResetOk: streak entries cleared
+  std::string status;  ///< kDone: ok|...|error; kAttached: state;
+                       ///< kReject: reason (queue_full|quota|shed)
   std::uint64_t seq = 0;  ///< kCheckpoint: seq; kAttached: last_seq
 };
 

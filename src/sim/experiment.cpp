@@ -1,7 +1,9 @@
 #include "sim/experiment.hpp"
 
 #include <mutex>
+#include <optional>
 
+#include "obs/span.hpp"
 #include "scenario/registry.hpp"
 #include "sim/parallel_runner.hpp"
 #include "sim/simulator.hpp"
@@ -78,6 +80,13 @@ std::vector<RunResult> run_tasks(const ExperimentConfig& config,
           };
         }
         try {
+          // Per-algorithm phase: "algo.<name>" under whatever span the
+          // caller holds (the daemon's serve.execute, rdcn_sim's run).
+          // Name building and interning only happen while profiling.
+          std::optional<obs::ObsSpan> algo_span;
+          if (obs::tracing_enabled())
+            algo_span.emplace(
+                obs::intern_span_name("algo." + spec.algorithm));
           RunResult r = run_one(spec, task.seed, control);
           r.seed = task.seed;
           r.algorithm = spec.display();
